@@ -1,0 +1,163 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (§8) at full scale and prints the series in text form.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run fig6a -seeds 10 -tasks 60
+//	experiments -run table3
+//	experiments -run ablation
+//
+// Runs: fig6a, fig6b, fig7a, fig7b, table3, ablation,
+// ablation-procrastinate, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sdem/internal/experiments"
+	"sdem/internal/stats"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "experiment: fig6a|fig6b|fig6ext|fig7a|fig7b|table3|ablation|ablation-procrastinate|ablation-switch|ablation-discrete|all")
+		seeds = flag.Int("seeds", 10, "random cases per data point (§8.2 uses 10)")
+		tasks = flag.Int("tasks", 60, "task instances per run")
+		cores = flag.Int("cores", 8, "platform cores")
+		csv   = flag.String("csv", "", "also append figure series as CSV to this file")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Seeds: *seeds, Tasks: *tasks, Cores: *cores}
+	names := strings.Split(*run, ",")
+	if *run == "all" {
+		names = []string{"fig6a", "fig6b", "fig7a", "fig7b", "table3", "ablation", "ablation-procrastinate", "ablation-switch", "ablation-discrete", "fig6ext"}
+	}
+	for _, name := range names {
+		if err := dispatch(cfg, strings.TrimSpace(name), *csv); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func dispatch(cfg experiments.Config, name, csvPath string) error {
+	writeCSV := func(series []experiments.Series) error {
+		if csvPath == "" {
+			return nil
+		}
+		f, err := os.OpenFile(csvPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		_, err = f.WriteString(experiments.RenderCSV(series))
+		return err
+	}
+	switch name {
+	case "fig6a":
+		s, err := cfg.Fig6a()
+		if err != nil {
+			return err
+		}
+		fmt.Println("# Fig 6a — memory static energy saving vs MBKP, benchmark tasks")
+		fmt.Print(experiments.RenderSeries(s))
+		if err := writeCSV(s); err != nil {
+			return err
+		}
+		fmt.Printf("FIG6A AVERAGE memory improvement of SDEM-ON over MBKPS: %s (paper: 10.02%%)\n\n",
+			stats.Percent(experiments.AvgImprovement(s)))
+	case "fig6b":
+		s, err := cfg.Fig6b()
+		if err != nil {
+			return err
+		}
+		fmt.Println("# Fig 6b — system-wide energy saving vs MBKP, benchmark tasks")
+		fmt.Print(experiments.RenderSeries(s))
+		if err := writeCSV(s); err != nil {
+			return err
+		}
+		fmt.Printf("FIG6B AVERAGE system improvement of SDEM-ON over MBKPS: %s (paper: 23.45%%)\n\n",
+			stats.Percent(experiments.AvgImprovement(s)))
+	case "fig6ext":
+		s, err := cfg.Fig6Extended()
+		if err != nil {
+			return err
+		}
+		fmt.Println("# Fig 6 extension — system-wide saving, FIR and IIR benchmark kernels (beyond the paper)")
+		fmt.Print(experiments.RenderSeries(s))
+		if err := writeCSV(s); err != nil {
+			return err
+		}
+	case "fig7a":
+		s, err := cfg.Fig7a()
+		if err != nil {
+			return err
+		}
+		fmt.Println("# Fig 7a — system saving improvement across α_m × utilization, synthetic tasks")
+		fmt.Print(experiments.RenderSeries(s))
+		if err := writeCSV(s); err != nil {
+			return err
+		}
+		fmt.Printf("FIG7A AVERAGE improvement of SDEM-ON over MBKPS: %s (paper: 9.74%%)\n\n",
+			stats.Percent(experiments.AvgImprovement(s)))
+	case "fig7b":
+		s, err := cfg.Fig7b()
+		if err != nil {
+			return err
+		}
+		fmt.Println("# Fig 7b — system saving improvement across ξ_m × utilization, synthetic tasks")
+		fmt.Print(experiments.RenderSeries(s))
+		if err := writeCSV(s); err != nil {
+			return err
+		}
+		fmt.Printf("FIG7B AVERAGE improvement of SDEM-ON over MBKPS: %s (paper: 10.52%%)\n\n",
+			stats.Percent(experiments.AvgImprovement(s)))
+	case "table3":
+		rows, err := experiments.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTable3(rows))
+		fmt.Println()
+	case "ablation":
+		pts, err := cfg.Ablation()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderAblation(pts))
+		fmt.Println()
+	case "ablation-switch":
+		pts, err := cfg.AblationSwitchOverhead()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderSwitchAblation(pts))
+		fmt.Println()
+	case "ablation-discrete":
+		pts, err := cfg.AblationDiscrete()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderDiscreteAblation(pts))
+		fmt.Println()
+	case "ablation-procrastinate":
+		pts, err := cfg.AblationProcrastination()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== ablation: procrastination (SDEM-ON with vs without latest-start postponement) ==")
+		fmt.Printf("%-12s %-18s %-18s %-18s\n", "x (s)", "with (vs MBKP)", "without (vs MBKP)", "gain of postponing")
+		for _, p := range pts {
+			fmt.Printf("%-12.4g %-18s %-18s %-18s\n", p.X,
+				stats.Percent(p.SDEMON.Mean), stats.Percent(p.MBKPS.Mean), stats.Percent(p.Improvement.Mean))
+		}
+		fmt.Println()
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+// Command gantt renders side-by-side Gantt charts of the same workload
+// scheduled by SDEM-ON, MBKPS and MBKP, visualizing how SDEM-ON
+// consolidates executions to maximize the memory's common idle time.
+//
+// Usage:
+//
+//	gantt -n 12 -x 200 -seed 3 -width 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sdem"
+	"sdem/internal/encode"
+	"sdem/internal/trace"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 12, "number of tasks")
+		x     = flag.Float64("x", 200, "max inter-arrival time (ms)")
+		seed  = flag.Int64("seed", 3, "workload seed")
+		cores = flag.Int("cores", 8, "cores")
+		width = flag.Int("width", 100, "chart width in columns")
+		in    = flag.String("in", "", "render a run JSON file (written by cmd/sdem -out) instead of generating")
+		svg   = flag.String("svg", "", "also write an SVG rendering of each schedule to this file (last one wins when comparing)")
+	)
+	flag.Parse()
+	if *in != "" {
+		if err := renderFile(*in, *width, *svg); err != nil {
+			fmt.Fprintln(os.Stderr, "gantt:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*n, *x, *seed, *cores, *width, *svg); err != nil {
+		fmt.Fprintln(os.Stderr, "gantt:", err)
+		os.Exit(1)
+	}
+}
+
+// renderFile renders a persisted run document.
+func renderFile(path string, width int, svgPath string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	r, err := encode.UnmarshalRun(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=== %s — total %.4f J, memory asleep %.4f s ===\n",
+		path, r.Breakdown.Total(), r.Breakdown.MemorySleep)
+	fmt.Print(trace.Render(r.Schedule, trace.Options{Width: width}))
+	if svgPath != "" {
+		doc := trace.SVG(r.Schedule, trace.SVGOptions{Title: path})
+		if err := os.WriteFile(svgPath, []byte(doc), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("SVG written to %s\n", svgPath)
+	}
+	return nil
+}
+
+func run(n int, x float64, seed int64, cores, width int, svgPath string) error {
+	sys := sdem.DefaultSystem()
+	sys.Cores = cores
+	tasks, err := sdem.SyntheticWorkload(sdem.SyntheticConfig{N: n, MaxInterArrival: sdem.Milliseconds(x)}, seed)
+	if err != nil {
+		return err
+	}
+	type entry struct {
+		name string
+		run  func() (*sdem.OnlineResult, error)
+	}
+	for _, e := range []entry{
+		{"SDEM-ON", func() (*sdem.OnlineResult, error) {
+			return sdem.ScheduleOnline(tasks, sys, sdem.OnlineOptions{Cores: cores})
+		}},
+		{"MBKPS", func() (*sdem.OnlineResult, error) { return sdem.MBKPS(tasks, sys, cores) }},
+		{"MBKP", func() (*sdem.OnlineResult, error) { return sdem.MBKP(tasks, sys, cores) }},
+	} {
+		res, err := e.run()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("=== %s — total %.4f J, memory asleep %.4f s ===\n",
+			e.name, res.Energy, res.Breakdown.MemorySleep)
+		fmt.Print(trace.Render(res.Schedule, trace.Options{Width: width}))
+		fmt.Println()
+		if svgPath != "" {
+			doc := trace.SVG(res.Schedule, trace.SVGOptions{Title: e.name})
+			if err := os.WriteFile(svgPath, []byte(doc), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

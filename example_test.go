@@ -1,0 +1,96 @@
+package sdem_test
+
+import (
+	"fmt"
+
+	"sdem"
+)
+
+// ExampleSolve schedules a common-release task set optimally and reports
+// where the energy goes.
+func ExampleSolve() {
+	sys := sdem.DefaultSystem()
+	sys.Core.BreakEven = 0
+	sys.Memory.BreakEven = 0
+
+	tasks := sdem.TaskSet{
+		{ID: 1, Release: 0, Deadline: sdem.Milliseconds(50), Workload: 3e6},
+		{ID: 2, Release: 0, Deadline: sdem.Milliseconds(100), Workload: 5e6},
+	}
+	sol, err := sdem.Solve(tasks, sys)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("scheme %s on a %v set\n", sol.Scheme, sol.Model)
+	b := sdem.Audit(sol.Schedule, sys)
+	fmt.Printf("memory sleeps %.0f%% of the horizon\n",
+		100*b.MemorySleep/(sol.Schedule.End-sol.Schedule.Start))
+	// Output:
+	// scheme §4.2 on a common-release set
+	// memory sleeps 97% of the horizon
+}
+
+// ExampleScheduleOnline runs the SDEM-ON heuristic on a general task set
+// that no offline scheme covers.
+func ExampleScheduleOnline() {
+	sys := sdem.DefaultSystem()
+	tasks := sdem.TaskSet{
+		{ID: 1, Release: 0, Deadline: sdem.Milliseconds(200), Workload: 4e6},
+		{ID: 2, Release: sdem.Milliseconds(20), Deadline: sdem.Milliseconds(90), Workload: 3e6}, // nested: general model
+	}
+	res, err := sdem.ScheduleOnline(tasks, sys, sdem.OnlineOptions{Cores: 2})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("misses: %d\n", len(res.Misses))
+	// Output:
+	// misses: 0
+}
+
+// ExampleLowerBound certifies that no schedule can beat the bound.
+func ExampleLowerBound() {
+	sys := sdem.DefaultSystem()
+	sys.Core.BreakEven = 0
+	sys.Memory.BreakEven = 0
+	tasks := sdem.TaskSet{{ID: 1, Release: 0, Deadline: sdem.Milliseconds(100), Workload: 5e6}}
+	lb := sdem.LowerBound(tasks, sys)
+	sol, _ := sdem.Solve(tasks, sys)
+	fmt.Printf("bound holds: %v\n", sol.Energy >= lb)
+	// Output:
+	// bound holds: true
+}
+
+// ExampleQuantize maps a continuous-speed optimum onto the Cortex-A57
+// frequency ladder.
+func ExampleQuantize() {
+	sys := sdem.DefaultSystem()
+	sys.Core.BreakEven = 0
+	sys.Memory.BreakEven = 0
+	tasks := sdem.TaskSet{{ID: 1, Release: 0, Deadline: sdem.Milliseconds(60), Workload: 4e6}}
+	sol, _ := sdem.Solve(tasks, sys)
+	q, err := sdem.Quantize(sol.Schedule, sdem.CortexA57Ladder())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("feasible on the ladder: %v\n", sdem.Validate(q, tasks, sdem.MHz(1900)) == nil)
+	// Output:
+	// feasible on the ladder: true
+}
+
+// ExampleExpandStreams turns periodic streams into a schedulable job set.
+func ExampleExpandStreams() {
+	streams := sdem.PeriodicSystem{
+		{ID: 1, Name: "ctrl", Period: sdem.Milliseconds(100), Window: sdem.Milliseconds(40), Workload: 2e6},
+	}
+	jobs, err := sdem.ExpandStreams(streams, 0.35, 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%d jobs released in 350 ms\n", len(jobs))
+	// Output:
+	// 4 jobs released in 350 ms
+}

@@ -1,0 +1,90 @@
+// Embedded-DSP: the paper's §8.1.1 scenario end to end. Real DSP kernels
+// (a 1024-point FFT and a matrix multiply) run through the cycle-cost
+// model to derive task parameters; the resulting sporadic instance stream
+// is scheduled online by SDEM-ON and by the MBKP/MBKPS baselines, and the
+// energy comparison of Fig. 6 is reproduced for one utilization point.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sdem"
+	"sdem/internal/dsp"
+)
+
+func main() {
+	// First, run the kernels for real: this is what the cycle model is
+	// calibrated against (the stand-in for the xsim2101 DSP simulator).
+	cm := dsp.DefaultCostModel()
+	r := rand.New(rand.NewSource(42))
+
+	signal := make([]complex128, 1024)
+	for i := range signal {
+		signal[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	fft, err := dsp.FFT(signal, cm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FFT-1024: %d bins, %.0f modelled DSP cycles (%.2f ms at 16.5 MHz)\n",
+		len(fft.Output), fft.Cycles, 1e3*fft.Cycles/dsp.DSPClockHz)
+
+	a, b := dsp.NewMatrix(32, 32), dsp.NewMatrix(32, 32)
+	for i := range a.Data {
+		a.Data[i], b.Data[i] = r.NormFloat64(), r.NormFloat64()
+	}
+	mm, err := dsp.MatMul(a, b, cm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MatMul 32³: checksum %.3f, %.0f modelled cycles (%.2f ms at 16.5 MHz)\n\n",
+		mm.Product.At(0, 0), mm.Cycles, 1e3*mm.Cycles/dsp.DSPClockHz)
+
+	// Now the Fig. 6 scenario at U = 4: a stream of mixed FFT/matmul
+	// instances whose deadlines derive from those cycle counts.
+	sys := sdem.DefaultSystem()
+	tasks, err := sdem.BenchmarkWorkload(sdem.BenchmarkConfig{N: 40, Kernel: sdem.KernelMixed, U: 4}, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d benchmark instances over %.2f s\n", len(tasks), spanOf(tasks))
+
+	type row struct {
+		name string
+		res  *sdem.OnlineResult
+	}
+	var rows []row
+	for _, e := range []struct {
+		name string
+		run  func() (*sdem.OnlineResult, error)
+	}{
+		{"MBKP   (no sleep)", func() (*sdem.OnlineResult, error) { return sdem.MBKP(tasks, sys, 8) }},
+		{"MBKPS  (naive sleep)", func() (*sdem.OnlineResult, error) { return sdem.MBKPS(tasks, sys, 8) }},
+		{"SDEM-ON (this paper)", func() (*sdem.OnlineResult, error) {
+			return sdem.ScheduleOnline(tasks, sys, sdem.OnlineOptions{Cores: 8})
+		}},
+	} {
+		res, err := e.run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(res.Misses) > 0 {
+			log.Fatalf("%s missed deadlines: %v", e.name, res.Misses)
+		}
+		rows = append(rows, row{e.name, res})
+	}
+
+	base := rows[0].res.Energy
+	fmt.Printf("\n%-22s %12s %12s %14s\n", "scheduler", "energy (J)", "saving", "memory asleep")
+	for _, rw := range rows {
+		fmt.Printf("%-22s %12.4f %11.2f%% %12.4fs\n",
+			rw.name, rw.res.Energy, 100*(base-rw.res.Energy)/base, rw.res.Breakdown.MemorySleep)
+	}
+}
+
+func spanOf(tasks sdem.TaskSet) float64 {
+	start, end := tasks.Span()
+	return end - start
+}

@@ -1,0 +1,77 @@
+// Periodic-control: a realistic embedded control system modelled as
+// periodic streams — a fast control loop, a sensor-fusion stage and a
+// sporadic telemetry uplink — expanded into jobs, scheduled online by
+// SDEM-ON, and reported with response-time metrics alongside the energy
+// comparison. Shows the full pipeline: streams → jobs → schedule →
+// audit → metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdem"
+)
+
+func main() {
+	streams := sdem.PeriodicSystem{
+		{ID: 1, Name: "ctrl", Period: sdem.Milliseconds(20), Window: sdem.Milliseconds(8), Workload: 1.5e6},
+		{ID: 2, Name: "fusion", Period: sdem.Milliseconds(60), Window: sdem.Milliseconds(40), Workload: 4e6},
+		{ID: 3, Name: "telemetry", Period: sdem.Milliseconds(250), Window: sdem.Milliseconds(200), Workload: 5e6, Jitter: 0.4},
+	}
+	fmt.Printf("streams: utilization %.1f%% of one core at 1.9 GHz\n",
+		100*streams.Utilization(sdem.MHz(1900)))
+	fmt.Printf("hyperperiod (periodic part): %.0f ms\n\n", 1e3*streams.Hyperperiod(1e-3))
+
+	jobs, err := sdem.ExpandStreams(streams, 1.0, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d jobs over 1 s\n\n", len(jobs))
+
+	sys := sdem.DefaultSystem()
+	sys.Cores = 4
+
+	type row struct {
+		name string
+		res  *sdem.OnlineResult
+	}
+	var rows []row
+	for _, e := range []struct {
+		name string
+		run  func() (*sdem.OnlineResult, error)
+	}{
+		{"MBKP", func() (*sdem.OnlineResult, error) { return sdem.MBKP(jobs, sys, 4) }},
+		{"MBKPS", func() (*sdem.OnlineResult, error) { return sdem.MBKPS(jobs, sys, 4) }},
+		{"SDEM-ON", func() (*sdem.OnlineResult, error) {
+			return sdem.ScheduleOnline(jobs, sys, sdem.OnlineOptions{Cores: 4})
+		}},
+	} {
+		res, err := e.run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(res.Misses) > 0 {
+			log.Fatalf("%s missed %d deadlines", e.name, len(res.Misses))
+		}
+		rows = append(rows, row{e.name, res})
+	}
+
+	base := rows[0].res.Energy
+	fmt.Printf("%-10s %10s %9s %14s %14s %12s\n",
+		"scheduler", "energy (J)", "saving", "mean resp (ms)", "mean laxity", "mem asleep")
+	for _, rw := range rows {
+		m := rw.res.Metrics
+		fmt.Printf("%-10s %10.4f %8.2f%% %14.2f %13.2fms %11.3fs\n",
+			rw.name, rw.res.Energy, 100*(base-rw.res.Energy)/base,
+			1e3*m.MeanResponse, 1e3*m.MeanLaxity, rw.res.Breakdown.MemorySleep)
+	}
+
+	fmt.Println(`
+Two things happen at once: SDEM-ON procrastinates each batch to its
+latest safe start (laxity shrinks from the window toward zero far less
+than MBKP's, whose stretched executions hug the deadlines), yet its
+critical-speed execution finishes each job quickly — so it delivers
+lower energy AND lower mean response than the OA baselines, with zero
+misses.`)
+}

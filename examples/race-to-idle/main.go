@@ -1,0 +1,79 @@
+// Race-to-idle: the title question in isolation. For a single task and a
+// sweep of memory static powers, compares racing at s_up (maximizing
+// sleep), stretching to the deadline (minimizing dynamic power), running
+// at the core-critical speed s_0, and the paper's optimum — showing how
+// the balance point moves with α_m and where each naive strategy loses.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdem"
+)
+
+func main() {
+	base := sdem.DefaultSystem()
+	base.Core.BreakEven = 0
+	base.Memory.BreakEven = 0
+
+	w := 4e6                    // cycles
+	d := sdem.Milliseconds(100) // deadline
+	task := sdem.Task{ID: 1, Deadline: d, Workload: w}
+	tasks := sdem.TaskSet{task}
+
+	fmt.Println("single task: 4e6 cycles, 100 ms window, Cortex-A57 core")
+	fmt.Printf("core critical speed s_0 = %.0f MHz (per-core optimum, independent of the memory)\n\n",
+		base.Core.CriticalSpeedRaw()/1e6)
+
+	fmt.Printf("%-10s %-14s %-14s %-14s %-14s %-12s\n",
+		"α_m (W)", "race@s_up (J)", "stretch (J)", "critical (J)", "optimal (J)", "opt speed")
+	for _, alphaM := range []float64{0.5, 1, 2, 4, 8, 16} {
+		sys := base
+		sys.Memory.Static = alphaM
+
+		race := energyAtSpeed(sys, w, d, sys.Core.SpeedMax)
+		stretch := energyAtSpeed(sys, w, d, w/d)
+		critical := energyAtSpeed(sys, w, d, sys.Core.CriticalSpeedRaw())
+
+		sol, err := sdem.Solve(tasks, sys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		optSpeed := speedOf(sol.Schedule)
+		fmt.Printf("%-10.1f %-14.5f %-14.5f %-14.5f %-14.5f %.0f MHz\n",
+			alphaM, race, stretch, critical, sol.Energy, optSpeed/1e6)
+	}
+
+	fmt.Println(`
+Reading the table: with little memory leakage the per-core critical speed
+is optimal ("don't race"); as α_m grows the optimum accelerates towards
+s_up because every second of memory activity costs more than the extra
+dynamic energy ("race to idle"). The paper's scheme lands on the exact
+balance point — the memory-associated critical speed of §5.2, capped at
+s_up.`)
+}
+
+// energyAtSpeed audits the single-task schedule at a fixed speed.
+func energyAtSpeed(sys sdem.System, w, d, speed float64) float64 {
+	s := &sdem.Schedule{}
+	*s = *newSchedule(1, 0, d)
+	s.Add(0, sdem.Segment{TaskID: 1, Start: 0, End: w / speed, Speed: speed})
+	s.Normalize()
+	return sdem.Audit(s, sys).Total()
+}
+
+func newSchedule(cores int, start, end float64) *sdem.Schedule {
+	s := &sdem.Schedule{NumCores: cores, Start: start, End: end,
+		CorePolicy: sdem.SleepBreakEven, MemoryPolicy: sdem.SleepBreakEven}
+	return s
+}
+
+func speedOf(s *sdem.Schedule) float64 {
+	for _, segs := range s.Cores {
+		for _, sg := range segs {
+			return sg.Speed
+		}
+	}
+	return 0
+}

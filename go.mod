@@ -1,0 +1,3 @@
+module sdem
+
+go 1.22

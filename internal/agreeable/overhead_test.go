@@ -1,0 +1,75 @@
+package agreeable
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdem/internal/commonrelease"
+	"sdem/internal/power"
+	"sdem/internal/task"
+)
+
+func TestOverheadDPMatchesBruteForce(t *testing.T) {
+	// §7 DP (per-block α_m·ξ_m charge) against exhaustive partitions with
+	// the same per-block extra.
+	sys := power.DefaultSystem()
+	sys.Core.BreakEven = 0 // isolate the memory transition term
+	for seed := int64(0); seed < 6; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		tasks := randomAgreeable(r, 2+r.Intn(4))
+		sol, err := SolveWithOverhead(tasks, sys)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got := totalCost(sol, sys.Memory.TransitionEnergy())
+		ref := bruteForce(tasks, sys, false, 200, sys.Memory.TransitionEnergy())
+		if got > ref*(1+1e-6) {
+			t.Errorf("seed %d: DP cost %.9g worse than brute force %.9g", seed, got, ref)
+		}
+		if ref > got*(1+2e-2) {
+			t.Errorf("seed %d: brute force %.9g much worse than DP %.9g", seed, ref, got)
+		}
+	}
+}
+
+func TestOverheadAgreesWithCommonReleaseOnSharedInputs(t *testing.T) {
+	// Common-release inputs: the §7 agreeable DP and the §7
+	// common-release solver must land on comparable energies (the DP may
+	// only match or slightly beat it by splitting blocks, and must never
+	// be worse than the single-interval structure it subsumes).
+	sys := power.DefaultSystem()
+	for seed := int64(10); seed < 16; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		tasks := make(task.Set, n)
+		for i := range tasks {
+			tasks[i] = task.Task{
+				ID:       i,
+				Release:  0,
+				Deadline: power.Milliseconds(20 + r.Float64()*100),
+				Workload: 2e6 + r.Float64()*3e6,
+			}
+		}
+		a, err := SolveWithOverhead(tasks, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := commonrelease.SolveWithOverhead(tasks, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Audited energies: the §7 agreeable DP follows the paper's
+		// approximation (block objective + α_m·ξ_m per block, with our
+		// no-compression fallback), while the common-release §7 solver
+		// searches busy lengths against the audit directly — so the DP
+		// may trail by a few percent on shared inputs; bound the gap.
+		if a.Energy > b.Energy*1.10 {
+			t.Errorf("seed %d: agreeable §7 (%.9g) much worse than common-release §7 (%.9g)",
+				seed, a.Energy, b.Energy)
+		}
+		if b.Energy > a.Energy*1.05 {
+			t.Errorf("seed %d: common-release §7 (%.9g) much worse than agreeable §7 (%.9g)",
+				seed, b.Energy, a.Energy)
+		}
+	}
+}

@@ -1,0 +1,370 @@
+// Package commonrelease implements the optimal SDEM schemes of §4 of the
+// paper for tasks sharing a common release time, and their §7 extension to
+// non-negligible mode-transition overhead.
+//
+// Both §4.1 (α = 0) and §4.2 (α ≠ 0) reduce to the same case structure:
+// sort tasks by their natural completion time c_i (the completion when the
+// task runs at its individually optimal speed — the filled speed for
+// α = 0, the critical speed s_0 for α ≠ 0) and choose the memory busy
+// length L. Tasks whose natural completion exceeds L accelerate to finish
+// exactly at L ("aligned"); the others keep their natural speed. Within
+// Case i (aligned set {T_i..T_n}, L ∈ [c_{i−1}, c_i]) the energy
+//
+//	E_i(L) = (k·α + α_m)·L + β·S_i·L^{1−λ} + Σ_{j<i}(β·w_j^λ·c_j^{1−λ} + α·c_j)
+//
+// (k = n−i+1 aligned tasks, S_i = Σ_{j≥i} w_j^λ) is convex with the
+// closed-form minimizer of Eq. (8); the global optimum is the best case
+// (Theorems 2 and 3).
+package commonrelease
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sdem/internal/numeric"
+	"sdem/internal/power"
+	"sdem/internal/schedule"
+	"sdem/internal/task"
+)
+
+// Solution is an optimal common-release schedule plus its audit summary.
+type Solution struct {
+	// Schedule is the constructed schedule (horizon [r, r+d_max]).
+	Schedule *schedule.Schedule
+	// BusyLen is the memory busy length L: all execution happens in
+	// [r, r+BusyLen].
+	BusyLen float64
+	// Delta is the memory sleep time within the horizon, d_max − L.
+	Delta float64
+	// Case is the winning 1-based case index (n−Case+1 aligned tasks),
+	// or 0 when no task has positive workload.
+	Case int
+	// Energy is the audited system-wide energy of Schedule.
+	Energy float64
+}
+
+// ErrNotCommonRelease is returned when the task set has differing release
+// times.
+var ErrNotCommonRelease = errors.New("commonrelease: tasks do not share a release time")
+
+// instance is the normalized problem: release shifted to 0, zero-workload
+// tasks dropped, tasks sorted by natural completion.
+type instance struct {
+	sys     power.System
+	release float64     // original common release time
+	horizon float64     // d_max relative to release
+	tasks   []task.Task // sorted by natural completion, times relative to release
+	c       []float64   // natural completion times, ascending
+	zeros   task.Set    // zero-workload tasks (scheduled nowhere)
+}
+
+// normalize validates the input and produces the sorted instance.
+// natural returns each task's individually optimal ("natural") speed; it
+// receives the task with times already relative to the common release.
+func normalize(tasks task.Set, sys power.System, natural func(task.Task) float64) (*instance, error) {
+	if err := tasks.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if len(tasks) == 0 {
+		return &instance{sys: sys}, nil
+	}
+	if !tasks.IsCommonRelease() {
+		return nil, ErrNotCommonRelease
+	}
+	if !tasks.Feasible(sys.Core.SpeedMax) {
+		return nil, fmt.Errorf("commonrelease: some task exceeds s_up even at filled speed")
+	}
+	release := tasks[0].Release
+	in := &instance{sys: sys, release: release}
+	for _, t := range tasks {
+		t.Release -= release
+		t.Deadline -= release
+		if t.Workload == 0 {
+			in.zeros = append(in.zeros, t)
+			continue
+		}
+		in.tasks = append(in.tasks, t)
+		in.horizon = math.Max(in.horizon, t.Deadline)
+	}
+	in.c = make([]float64, len(in.tasks))
+	for i, t := range in.tasks {
+		s := natural(t)
+		if s <= 0 || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("commonrelease: task %d has invalid natural speed %g", t.ID, s)
+		}
+		in.c[i] = t.Workload / s
+	}
+	// Sort tasks and completions together, ascending by completion.
+	idx := make([]int, len(in.tasks))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return in.c[idx[a]] < in.c[idx[b]] })
+	ts := make([]task.Task, len(idx))
+	cs := make([]float64, len(idx))
+	for i, j := range idx {
+		ts[i], cs[i] = in.tasks[j], in.c[j]
+	}
+	in.tasks, in.c = ts, cs
+	return in, nil
+}
+
+// build constructs the schedule for busy length L: tasks with natural
+// completion ≥ L−ε align to [0, L]; the rest run at natural speed. One
+// core per positive-workload task (unbounded-core model).
+func (in *instance) build(L float64) *schedule.Schedule {
+	s := schedule.New(len(in.tasks), in.release, in.release+in.horizon)
+	for i, t := range in.tasks {
+		end := in.c[i]
+		if end >= L-schedule.Tol {
+			end = L
+		}
+		s.Add(i, schedule.Segment{
+			TaskID: t.ID,
+			Start:  in.release,
+			End:    in.release + end,
+			Speed:  t.Workload / end,
+		})
+	}
+	s.Normalize()
+	return s
+}
+
+// solution audits the schedule for busy length L and wraps it.
+func (in *instance) solution(L float64, caseIdx int) *Solution {
+	s := in.build(L)
+	return &Solution{
+		Schedule: s,
+		BusyLen:  L,
+		Delta:    in.horizon - L,
+		Case:     caseIdx,
+		Energy:   schedule.Audit(s, in.sys).Total(),
+	}
+}
+
+// empty returns the solution for an instance with no positive-workload
+// tasks.
+func (in *instance) empty() *Solution {
+	s := schedule.New(0, in.release, in.release+in.horizon)
+	return &Solution{
+		Schedule: s,
+		Delta:    in.horizon,
+		Energy:   schedule.Audit(s, in.sys).Total(),
+	}
+}
+
+// caseData holds the per-case quantities of the closed-form scan.
+type caseData struct {
+	lo, hi float64 // feasible busy-length interval [c_{i−1} or cap, c_i]
+	lstar  float64 // unconstrained minimizer of E_i (Eq. 8 rewritten in L)
+	suffix float64 // S_i = Σ_{j≥i} w_j^λ
+	prefix float64 // Σ_{j<i} (β w_j^λ c_j^{1−λ} + α c_j)
+}
+
+// cases computes the n case descriptors. alphaPerCore is the static power
+// charged per aligned core (α for §4.2, 0 for §4.1). applyCap folds the
+// s_up feasibility bound into each case's lower busy-length limit; the
+// literal Theorem 2 / Lemma 1 scans disable it to match the paper's
+// uncapped case semantics.
+func (in *instance) cases(alphaPerCore float64, applyCap bool) []caseData {
+	n := len(in.tasks)
+	core, mem := in.sys.Core, in.sys.Memory
+	// Suffix sums of w^λ and suffix maxima of w.
+	sufPow := make([]float64, n+1)
+	sufMaxW := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		w := in.tasks[i].Workload
+		sufPow[i] = sufPow[i+1] + math.Pow(w, core.Lambda)
+		sufMaxW[i] = math.Max(sufMaxW[i+1], w)
+	}
+	out := make([]caseData, n)
+	var prefix float64
+	for i := 0; i < n; i++ { // case index i+1 in paper terms
+		k := float64(n - i)
+		denom := k*alphaPerCore + mem.Static
+		var lstar float64
+		if denom > 0 {
+			lstar = math.Pow(core.Beta*(core.Lambda-1)*sufPow[i]/denom, 1/core.Lambda)
+		} else {
+			// No static power anywhere: stretching is free, run filled.
+			lstar = math.Inf(1)
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = in.c[i-1]
+		}
+		if applyCap && core.SpeedMax > 0 {
+			lo = math.Max(lo, sufMaxW[i]/core.SpeedMax)
+		}
+		out[i] = caseData{lo: lo, hi: in.c[i], lstar: lstar, suffix: sufPow[i], prefix: prefix}
+		prefix += core.Beta*math.Pow(in.tasks[i].Workload, core.Lambda)*math.Pow(in.c[i], 1-core.Lambda) +
+			alphaPerCore*in.c[i]
+	}
+	return out
+}
+
+// energyAt evaluates the closed-form E_i at busy length L for case i
+// (0-based), charging alphaPerCore per aligned core.
+func (in *instance) energyAt(cd caseData, i int, L float64, alphaPerCore float64) float64 {
+	if L <= 0 {
+		return math.Inf(1)
+	}
+	core, mem := in.sys.Core, in.sys.Memory
+	k := float64(len(in.tasks) - i)
+	return (k*alphaPerCore+mem.Static)*L + core.Beta*cd.suffix*math.Pow(L, 1-core.Lambda) + cd.prefix
+}
+
+// scanAll evaluates every case at its clamped minimizer and returns the
+// best (0-based case index, busy length). This is the O(n) full scan that
+// Theorems 2 and 3 prove optimal.
+func (in *instance) scanAll(alphaPerCore float64) (int, float64) {
+	best, bestL, bestE := -1, 0.0, math.Inf(1)
+	for i, cd := range in.cases(alphaPerCore, true) {
+		if cd.lo > cd.hi+schedule.Tol {
+			continue // speed cap excludes this case entirely
+		}
+		L := numeric.Clamp(cd.lstar, cd.lo, cd.hi)
+		if e := in.energyAt(cd, i, L, alphaPerCore); e < bestE {
+			best, bestL, bestE = i, L, e
+		}
+	}
+	return best, bestL
+}
+
+// SolveAlphaZero solves §4.1: common release time, negligible core static
+// power (the solver ignores sys.Core.Static), zero transition overhead.
+// The returned schedule is optimal (Theorem 2).
+func SolveAlphaZero(tasks task.Set, sys power.System) (*Solution, error) {
+	in, err := normalize(tasks, sys, func(t task.Task) float64 { return t.FilledSpeed() })
+	if err != nil {
+		return nil, err
+	}
+	// Audit must not charge core static power in the α=0 model.
+	in.sys.Core.Static = 0
+	in.sys.Core.BreakEven = 0
+	in.sys.Memory.BreakEven = 0
+	if len(in.tasks) == 0 {
+		return in.empty(), nil
+	}
+	if in.sys.Memory.Static == 0 {
+		// Without memory leakage each task independently prefers its
+		// filled speed; the busy length is the latest deadline.
+		return in.solution(in.c[len(in.c)-1], 1), nil
+	}
+	i, L := in.scanAll(0)
+	return in.solution(L, i+1), nil
+}
+
+// SolveWithStatic solves §4.2: common release time, non-negligible core
+// static power, zero transition overhead. Tasks not aligned to the memory
+// busy interval run at their critical speed s_0; the returned schedule is
+// optimal (Theorem 3).
+func SolveWithStatic(tasks task.Set, sys power.System) (*Solution, error) {
+	in, err := normalize(tasks, sys, func(t task.Task) float64 {
+		return sys.Core.CriticalSpeed(t.FilledSpeed())
+	})
+	if err != nil {
+		return nil, err
+	}
+	in.sys.Core.BreakEven = 0
+	in.sys.Memory.BreakEven = 0
+	if len(in.tasks) == 0 {
+		return in.empty(), nil
+	}
+	i, L := in.scanAll(in.sys.Core.Static)
+	return in.solution(L, i+1), nil
+}
+
+// Solve dispatches to the right §4 scheme based on the system model:
+// SolveWithOverhead when any break-even time is set, otherwise
+// SolveWithStatic for α ≠ 0 and SolveAlphaZero for α = 0.
+func Solve(tasks task.Set, sys power.System) (*Solution, error) {
+	switch {
+	case sys.Core.BreakEven > 0 || sys.Memory.BreakEven > 0:
+		return SolveWithOverhead(tasks, sys)
+	case sys.Core.Static > 0:
+		return SolveWithStatic(tasks, sys)
+	default:
+		return SolveAlphaZero(tasks, sys)
+	}
+}
+
+// Theorem2Scan reproduces the literal Theorem 2 procedure for §4.1: walk
+// cases from n down to 1 and stop at the first case whose minimizer is
+// valid (inside the case interval) or just-fit (below it). It returns the
+// same (case, busy length) as the full scan; both are exposed so tests can
+// assert the theorem's early-stopping argument.
+func Theorem2Scan(tasks task.Set, sys power.System) (int, float64, error) {
+	in, err := normalize(tasks, sys, func(t task.Task) float64 { return t.FilledSpeed() })
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(in.tasks) == 0 || in.sys.Memory.Static == 0 {
+		return 0, 0, errors.New("commonrelease: Theorem2Scan needs positive work and memory power")
+	}
+	cds := in.cases(0, false)
+	// Case i in paper terms is index i−1 here; walking n→1 means n−1→0.
+	// In busy-length terms: Δ_mi invalid (Δ_mi ≥ δ_{i−1}) ⟺ L* ≤ c_{i−1}
+	// ⟺ L* ≤ lo, which sends the scan to the next smaller case index.
+	for i := len(cds) - 1; i >= 0; i-- {
+		cd := cds[i]
+		if cd.lo > cd.hi+schedule.Tol {
+			continue
+		}
+		switch {
+		case cd.lstar < cd.lo: // paper's "invalid": sleep wants to be longer
+			if i == 0 {
+				return 1, cd.lo, nil
+			}
+			continue
+		case cd.lstar > cd.hi: // "just-fit": clamp to the case boundary
+			return i + 1, cd.hi, nil
+		default: // "valid"
+			return i + 1, cd.lstar, nil
+		}
+	}
+	return 0, 0, errors.New("commonrelease: no feasible case")
+}
+
+// BinarySearchScan is the O(log n) Lemma 1 accelerator for §4.1: binary
+// search over cases for the unique valid minimizer, falling back to the
+// best just-fit boundary when no case is valid.
+func BinarySearchScan(tasks task.Set, sys power.System) (int, float64, error) {
+	in, err := normalize(tasks, sys, func(t task.Task) float64 { return t.FilledSpeed() })
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(in.tasks) == 0 || in.sys.Memory.Static == 0 {
+		return 0, 0, errors.New("commonrelease: BinarySearchScan needs positive work and memory power")
+	}
+	cds := in.cases(0, false)
+	lo, hi := 0, len(cds)-1
+	var lastJustFit = -1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		cd := cds[mid]
+		switch {
+		case cd.lstar < cd.lo:
+			// Sleep wants to exceed this case's domain ("invalid"):
+			// search smaller case indices (longer sleep / shorter busy).
+			hi = mid - 1
+		case cd.lstar > cd.hi:
+			// "Just-fit": the optimum clamps to this case's upper
+			// boundary; a valid case, if any, has a larger index.
+			lastJustFit = mid
+			lo = mid + 1
+		default:
+			return mid + 1, cd.lstar, nil
+		}
+	}
+	if lastJustFit >= 0 {
+		return lastJustFit + 1, cds[lastJustFit].hi, nil
+	}
+	// All cases invalid: the global optimum is the boundary of case 1.
+	return 1, cds[0].lo, nil
+}

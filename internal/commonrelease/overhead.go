@@ -1,0 +1,105 @@
+package commonrelease
+
+import (
+	"math"
+	"sort"
+
+	"sdem/internal/numeric"
+	"sdem/internal/power"
+	"sdem/internal/schedule"
+	"sdem/internal/task"
+)
+
+// SolveWithOverhead solves the §7 common-release problem with
+// non-negligible mode-transition overhead (ξ ≠ 0 and/or ξ_m ≠ 0).
+//
+// Tasks not aligned to the memory busy interval run at the constrained
+// critical speed s_c of §7; aligned tasks finish together at busy length L.
+// The audited energy E(L) is convex between the structural breakpoints —
+// the natural completions c_j (where the aligned set changes) and
+// d_max − ξ_m, d_max − ξ (where the memory / aligned-core idle tail
+// crosses its break-even time, flipping the sleep decision of
+// SleepBreakEven accounting) — so the solver minimizes each smooth piece
+// by golden-section search and keeps the best. This subsumes every row of
+// the paper's Table 3: the candidates Δ = Δ_mi, Δ = ξ and Δ = 0 are all
+// piece boundaries or interior minima of some piece.
+func SolveWithOverhead(tasks task.Set, sys power.System) (*Solution, error) {
+	// Determine the maximal interval first: s_c depends on it.
+	var horizon float64
+	for _, t := range tasks {
+		horizon = math.Max(horizon, t.Deadline-t.Release)
+	}
+	natural := func(t task.Task) float64 {
+		if sys.Core.Static == 0 {
+			// A leak-free core never benefits from finishing early;
+			// stretching to the filled speed is individually optimal.
+			return t.FilledSpeed()
+		}
+		return sys.Core.ConstrainedCriticalSpeed(t.FilledSpeed(), t.Workload, horizon)
+	}
+	in, err := normalize(tasks, sys, natural)
+	if err != nil {
+		return nil, err
+	}
+	if len(in.tasks) == 0 {
+		return in.empty(), nil
+	}
+	n := len(in.tasks)
+
+	// Structural breakpoints in busy length L.
+	points := make([]float64, 0, n+4)
+	points = append(points, in.c...)
+	for _, p := range []float64{in.horizon - sys.Memory.BreakEven, in.horizon - sys.Core.BreakEven} {
+		if p > 0 && p < in.c[n-1] {
+			points = append(points, p)
+		}
+	}
+	sort.Float64s(points)
+
+	// Suffix maxima of workloads for the speed cap: when L ∈
+	// (c_{i−1}, c_i], tasks i..n are aligned and need w/L ≤ s_up.
+	sufMaxW := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		sufMaxW[i] = math.Max(sufMaxW[i+1], in.tasks[i].Workload)
+	}
+	capFor := func(L float64) float64 {
+		// Smallest feasible busy length when the aligned set is that of
+		// busy length L.
+		i := sort.SearchFloat64s(in.c, L) // first c_j ≥ L
+		if in.sys.Core.SpeedMax <= 0 {
+			return 0
+		}
+		return sufMaxW[i] / in.sys.Core.SpeedMax
+	}
+
+	eval := func(L float64) float64 {
+		if L <= 0 {
+			return math.Inf(1)
+		}
+		if L < capFor(L)-schedule.Tol {
+			return math.Inf(1)
+		}
+		return schedule.Audit(in.build(L), in.sys).Total()
+	}
+
+	bestL, bestE := in.c[n-1], eval(in.c[n-1])
+	lo := math.Max(capFor(in.c[0]), in.c[0]*1e-9)
+	prev := lo
+	for _, p := range points {
+		if p <= prev+schedule.Tol {
+			continue
+		}
+		x, e := numeric.MinimizeConvex(eval, prev, p, 1e-12)
+		if e < bestE {
+			bestL, bestE = x, e
+		}
+		prev = p
+	}
+
+	// Identify the winning case index for reporting.
+	caseIdx := sort.SearchFloat64s(in.c, bestL-schedule.Tol) + 1
+	if caseIdx > n {
+		caseIdx = n
+	}
+	return in.solution(bestL, caseIdx), nil
+}

@@ -1,0 +1,221 @@
+package commonrelease
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sdem/internal/power"
+	"sdem/internal/schedule"
+	"sdem/internal/task"
+)
+
+// sweepOverhead densely sweeps busy lengths for the overhead model using
+// the solver's own builder but an independent grid, returning the best
+// audited energy. The grid is fine enough to straddle every break-even
+// discontinuity.
+func sweepOverhead(tasks task.Set, sys power.System, samples int) (float64, error) {
+	var horizon float64
+	for _, t := range tasks {
+		horizon = math.Max(horizon, t.Deadline-t.Release)
+	}
+	natural := func(t task.Task) float64 {
+		if sys.Core.Static == 0 {
+			return t.FilledSpeed()
+		}
+		return sys.Core.ConstrainedCriticalSpeed(t.FilledSpeed(), t.Workload, horizon)
+	}
+	in, err := normalize(tasks, sys, natural)
+	if err != nil {
+		return 0, err
+	}
+	cmax := in.c[len(in.c)-1]
+	var wmax float64
+	for _, tk := range in.tasks {
+		wmax = math.Max(wmax, tk.Workload)
+	}
+	lmin := cmax * 1e-6
+	if sys.Core.SpeedMax > 0 {
+		lmin = math.Max(lmin, wmax/sys.Core.SpeedMax)
+	}
+	best := math.Inf(1)
+	for i := 0; i <= samples; i++ {
+		L := lmin + (cmax-lmin)*float64(i)/float64(samples)
+		if e := schedule.Audit(in.build(L), in.sys).Total(); e < best {
+			best = e
+		}
+	}
+	return best, nil
+}
+
+func overheadTasks(r *rand.Rand, n int) task.Set {
+	s := make(task.Set, n)
+	for i := range s {
+		s[i] = task.Task{
+			ID:       i,
+			Release:  0,
+			Deadline: power.Milliseconds(10 + r.Float64()*110),
+			Workload: 2e6 + r.Float64()*3e6,
+		}
+	}
+	return s
+}
+
+func TestOverheadMatchesSweep(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		sys := power.DefaultSystem()
+		sys.Memory.BreakEven = power.Milliseconds(15 + r.Float64()*55)
+		sys.Core.BreakEven = power.Milliseconds(r.Float64() * 20)
+		tasks := overheadTasks(r, 1+r.Intn(7))
+		sol, err := SolveWithOverhead(tasks, sys)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ref, err := sweepOverhead(tasks, sys, 6000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Energy > ref*(1+1e-6) {
+			t.Errorf("seed %d: solver %.9g worse than sweep %.9g", seed, sol.Energy, ref)
+		}
+		if err := sol.Schedule.Validate(tasks, schedule.ValidateOptions{NonPreemptive: true, SpeedMax: sys.Core.SpeedMax}); err != nil {
+			t.Errorf("seed %d: invalid schedule: %v", seed, err)
+		}
+	}
+}
+
+func TestOverheadReducesToStaticWhenFree(t *testing.T) {
+	// With ξ = ξ_m = 0 the overhead solver must reproduce §4.2 exactly.
+	sys := testSystem()
+	for seed := int64(50); seed < 56; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		tasks := overheadTasks(r, 1+r.Intn(6))
+		a, err := SolveWithOverhead(tasks, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := SolveWithStatic(tasks, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(a.Energy, b.Energy, 1e-6) {
+			t.Errorf("seed %d: overhead solver %.9g != §4.2 %.9g", seed, a.Energy, b.Energy)
+		}
+	}
+}
+
+// TestTable3CaseSelection reproduces the behavioural content of the
+// paper's Table 3: the optimal memory sleep decision as a function of how
+// the unconstrained sleep Δ_m compares with ξ and ξ_m.
+func TestTable3CaseSelection(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	tasks := overheadTasks(r, 4)
+
+	// Row 1: Δ_m ≥ ξ, ξ_m — memory (and cores) sleep; the audited sleep
+	// equals the no-overhead optimum's sleep because transition cost is
+	// independent of the sleep length.
+	sys := power.DefaultSystem()
+	sys.Memory.BreakEven = power.Milliseconds(1)
+	sys.Core.BreakEven = power.Milliseconds(0.5)
+	sol, err := SolveWithOverhead(tasks, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := schedule.Audit(sol.Schedule, sys)
+	if b.MemorySleeps == 0 {
+		t.Error("row 1: memory should sleep when break-even is tiny")
+	}
+	free, _ := SolveWithStatic(tasks, sys)
+	if !almost(sol.BusyLen, free.BusyLen, 1e-6) {
+		t.Errorf("row 1: busy length %g, want the ξ=0 optimum %g", sol.BusyLen, free.BusyLen)
+	}
+
+	// Row 2/4 (Δ_m < ξ_m): sleeping the memory is never worth it, so the
+	// optimum keeps every task at its constrained critical speed and the
+	// memory stays active through its idle tail.
+	sys = power.DefaultSystem()
+	sys.Memory.BreakEven = 10 // far beyond any possible sleep
+	sys.Core.BreakEven = power.Milliseconds(1)
+	sol, err = SolveWithOverhead(tasks, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = schedule.Audit(sol.Schedule, sys)
+	if b.MemorySleeps != 0 {
+		t.Error("row 2: memory must not sleep when ξ_m is prohibitive")
+	}
+	// No alignment benefit: the busy length is the largest natural
+	// completion.
+	inNat, _ := normalize(tasks, sys, func(tk task.Task) float64 {
+		return sys.Core.ConstrainedCriticalSpeed(tk.FilledSpeed(), tk.Workload, sol.Schedule.End-sol.Schedule.Start)
+	})
+	if !almost(sol.BusyLen, inNat.c[len(inNat.c)-1], 1e-6) {
+		t.Errorf("row 2: busy length %g, want natural max %g", sol.BusyLen, inNat.c[len(inNat.c)-1])
+	}
+
+	// Row 3 (ξ_m ≤ Δ_m < ξ): memory sleeps but cores, whose break-even is
+	// prohibitive, stay idle-active; the schedule still compresses for the
+	// memory's sake.
+	sys = power.DefaultSystem()
+	sys.Memory.BreakEven = power.Milliseconds(5)
+	sys.Core.BreakEven = 10
+	sol, err = SolveWithOverhead(tasks, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = schedule.Audit(sol.Schedule, sys)
+	if b.MemorySleeps == 0 {
+		t.Error("row 3: memory should still sleep")
+	}
+	if b.CoreSleeps != 0 {
+		t.Error("row 3: cores must not sleep when ξ is prohibitive")
+	}
+}
+
+func TestOverheadConstrainedSpeedUsed(t *testing.T) {
+	// One short task in a long window, core break-even longer than the
+	// idle tail left by racing: the task must stretch (s_c = filled) and
+	// the core stays active. With a small break-even it races to s_m and
+	// sleeps.
+	sys := power.DefaultSystem()
+	sys.Memory.Static = 0 // remove the memory term: core trade-off only
+	sys.Memory.BreakEven = power.Milliseconds(1)
+	w := 3e6
+	d := power.Milliseconds(12)
+	tasks := task.Set{{ID: 1, Release: 0, Deadline: d, Workload: w}}
+
+	sys.Core.BreakEven = power.Milliseconds(100) // cannot sleep: stretch
+	sol, err := SolveWithOverhead(tasks, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.BusyLen, d, 1e-6) {
+		t.Errorf("prohibitive ξ: busy length %g, want full window %g", sol.BusyLen, d)
+	}
+
+	sys.Core.BreakEven = power.Milliseconds(1) // can sleep: race to s_m
+	sol, err = SolveWithOverhead(tasks, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantL := w / sys.Core.CriticalSpeedRaw()
+	if !almost(sol.BusyLen, wantL, 1e-6) {
+		t.Errorf("small ξ: busy length %g, want critical completion %g", sol.BusyLen, wantL)
+	}
+}
+
+func TestOverheadEmptyAndErrors(t *testing.T) {
+	sys := power.DefaultSystem()
+	sol, err := SolveWithOverhead(task.Set{}, sys)
+	if err != nil || sol.Energy != 0 {
+		t.Errorf("empty: sol=%v err=%v", sol, err)
+	}
+	bad := task.Set{
+		{ID: 1, Release: 0, Deadline: 1, Workload: 1e6},
+		{ID: 2, Release: 0.25, Deadline: 1, Workload: 1e6},
+	}
+	if _, err := SolveWithOverhead(bad, sys); err == nil {
+		t.Error("non-common release must be rejected")
+	}
+}

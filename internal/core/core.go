@@ -1,0 +1,104 @@
+// Package core is the paper's primary contribution assembled into one
+// solver: Sleep- and DVS-aware system-wide Energy Minimization (SDEM).
+//
+// Given a task set and a platform model it dispatches to the optimal
+// scheme of Table 1 — §4 for common-release sets, §5 for
+// agreeable-deadline sets, each in its α = 0 / α ≠ 0 / §7
+// transition-overhead variant — and to the §6 SDEM-ON heuristic for
+// general sets when online scheduling is requested. Every path returns
+// the same Schedule IR, independently audited.
+package core
+
+import (
+	"fmt"
+
+	"sdem/internal/agreeable"
+	"sdem/internal/commonrelease"
+	"sdem/internal/online"
+	"sdem/internal/power"
+	"sdem/internal/schedule"
+	"sdem/internal/sim"
+	"sdem/internal/task"
+)
+
+// Solution is an offline optimal SDEM schedule.
+type Solution struct {
+	// Schedule is the constructed schedule.
+	Schedule *schedule.Schedule
+	// Energy is the audited system-wide energy in joules.
+	Energy float64
+	// Model is the task model the solver dispatched on.
+	Model task.Model
+	// Scheme names the paper section whose algorithm produced the
+	// solution (e.g. "§4.2", "§5.1+§7").
+	Scheme string
+}
+
+// ErrGeneralOffline is returned when an offline optimum is requested for
+// a general task set, for which the paper gives no optimal algorithm.
+type ErrGeneralOffline struct{ Model task.Model }
+
+// Error implements error.
+func (e ErrGeneralOffline) Error() string {
+	return fmt.Sprintf("core: no offline optimal scheme for %v task sets; use ScheduleOnline", e.Model)
+}
+
+// schemeName maps the dispatch to the paper's section numbering.
+func schemeName(model task.Model, sys power.System) string {
+	var base string
+	switch model {
+	case task.ModelEmpty, task.ModelCommonDeadline, task.ModelCommonRelease:
+		if sys.Core.Static > 0 {
+			base = "§4.2"
+		} else {
+			base = "§4.1"
+		}
+	default:
+		if sys.Core.Static > 0 {
+			base = "§5.2"
+		} else {
+			base = "§5.1"
+		}
+	}
+	if sys.Core.BreakEven > 0 || sys.Memory.BreakEven > 0 {
+		base += "+§7"
+	}
+	return base
+}
+
+// Solve computes the offline optimal SDEM schedule on the unbounded-core
+// platform, dispatching per Table 1.
+func Solve(tasks task.Set, sys power.System) (*Solution, error) {
+	model := tasks.Classify()
+	switch model {
+	case task.ModelEmpty, task.ModelCommonDeadline, task.ModelCommonRelease:
+		sol, err := commonrelease.Solve(tasks, sys)
+		if err != nil {
+			return nil, err
+		}
+		return &Solution{
+			Schedule: sol.Schedule,
+			Energy:   sol.Energy,
+			Model:    model,
+			Scheme:   schemeName(model, sys),
+		}, nil
+	case task.ModelAgreeable:
+		sol, err := agreeable.Solve(tasks, sys)
+		if err != nil {
+			return nil, err
+		}
+		return &Solution{
+			Schedule: sol.Schedule,
+			Energy:   sol.Energy,
+			Model:    model,
+			Scheme:   schemeName(model, sys),
+		}, nil
+	default:
+		return nil, ErrGeneralOffline{Model: model}
+	}
+}
+
+// ScheduleOnline runs the §6 SDEM-ON heuristic (any task model).
+func ScheduleOnline(tasks task.Set, sys power.System, opts online.Options) (*sim.Result, error) {
+	return online.Schedule(tasks, sys, opts)
+}

@@ -1,0 +1,143 @@
+// Package encode provides stable JSON interchange for the library's data
+// types — task sets, system models and schedules — so the CLI tools can
+// pipe workloads and results between each other and external tooling
+// (plotting, trace viewers) can consume them.
+package encode
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sdem/internal/power"
+	"sdem/internal/schedule"
+	"sdem/internal/task"
+)
+
+// Version is embedded in every document to keep future format changes
+// detectable.
+const Version = 1
+
+// Document is the envelope for any encoded payload.
+type Document struct {
+	Version int             `json:"version"`
+	Kind    string          `json:"kind"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Kinds of payloads.
+const (
+	KindTasks    = "tasks"
+	KindSystem   = "system"
+	KindSchedule = "schedule"
+	KindRun      = "run"
+)
+
+// Run bundles a scheduling result for interchange: the inputs, the
+// schedule and its audited breakdown.
+type Run struct {
+	Tasks     task.Set           `json:"tasks"`
+	System    power.System       `json:"system"`
+	Schedule  *schedule.Schedule `json:"schedule"`
+	Breakdown schedule.Breakdown `json:"breakdown"`
+}
+
+func wrap(kind string, payload any) ([]byte, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("encode: marshal %s: %w", kind, err)
+	}
+	return json.MarshalIndent(Document{Version: Version, Kind: kind, Payload: raw}, "", "  ")
+}
+
+func unwrap(data []byte, kind string, payload any) error {
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("encode: bad document: %w", err)
+	}
+	if doc.Version != Version {
+		return fmt.Errorf("encode: unsupported version %d (want %d)", doc.Version, Version)
+	}
+	if doc.Kind != kind {
+		return fmt.Errorf("encode: document kind %q, want %q", doc.Kind, kind)
+	}
+	if err := json.Unmarshal(doc.Payload, payload); err != nil {
+		return fmt.Errorf("encode: bad %s payload: %w", kind, err)
+	}
+	return nil
+}
+
+// MarshalTasks encodes a task set.
+func MarshalTasks(ts task.Set) ([]byte, error) { return wrap(KindTasks, ts) }
+
+// UnmarshalTasks decodes and validates a task set.
+func UnmarshalTasks(data []byte) (task.Set, error) {
+	var ts task.Set
+	if err := unwrap(data, KindTasks, &ts); err != nil {
+		return nil, err
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, fmt.Errorf("encode: invalid tasks: %w", err)
+	}
+	return ts, nil
+}
+
+// MarshalSystem encodes a platform model.
+func MarshalSystem(sys power.System) ([]byte, error) { return wrap(KindSystem, sys) }
+
+// UnmarshalSystem decodes and validates a platform model.
+func UnmarshalSystem(data []byte) (power.System, error) {
+	var sys power.System
+	if err := unwrap(data, KindSystem, &sys); err != nil {
+		return power.System{}, err
+	}
+	if err := sys.Validate(); err != nil {
+		return power.System{}, fmt.Errorf("encode: invalid system: %w", err)
+	}
+	return sys, nil
+}
+
+// MarshalSchedule encodes a schedule.
+func MarshalSchedule(s *schedule.Schedule) ([]byte, error) { return wrap(KindSchedule, s) }
+
+// UnmarshalSchedule decodes a schedule (structural checks only; validate
+// against its task set separately).
+func UnmarshalSchedule(data []byte) (*schedule.Schedule, error) {
+	var s schedule.Schedule
+	if err := unwrap(data, KindSchedule, &s); err != nil {
+		return nil, err
+	}
+	s.Normalize()
+	return &s, nil
+}
+
+// MarshalRun encodes a full scheduling result.
+func MarshalRun(r Run) ([]byte, error) { return wrap(KindRun, r) }
+
+// UnmarshalRun decodes a full scheduling result and cross-checks that
+// the embedded breakdown matches a fresh audit of the schedule — a
+// tamper/skew detector for persisted results.
+func UnmarshalRun(data []byte) (Run, error) {
+	var r Run
+	if err := unwrap(data, KindRun, &r); err != nil {
+		return Run{}, err
+	}
+	if r.Schedule == nil {
+		return Run{}, fmt.Errorf("encode: run without schedule")
+	}
+	r.Schedule.Normalize()
+	fresh := schedule.Audit(r.Schedule, r.System)
+	if d := fresh.Total() - r.Breakdown.Total(); d > 1e-9*(1+fresh.Total()) || d < -1e-9*(1+fresh.Total()) {
+		return Run{}, fmt.Errorf("encode: stored breakdown (%g J) disagrees with audit (%g J)",
+			r.Breakdown.Total(), fresh.Total())
+	}
+	return r, nil
+}
+
+// Write writes an encoded document to w with a trailing newline.
+func Write(w io.Writer, data []byte) error {
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("encode: write: %w", err)
+	}
+	return nil
+}

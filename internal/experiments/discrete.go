@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sdem/internal/discrete"
+	"sdem/internal/online"
+	"sdem/internal/power"
+	"sdem/internal/schedule"
+	"sdem/internal/stats"
+	"sdem/internal/workload"
+)
+
+// DiscretePoint is one row of the continuous-vs-discrete ablation.
+type DiscretePoint struct {
+	// Levels is the ladder size (0 marks the real A57 ladder).
+	Levels int
+	// Penalty is the relative energy increase of quantizing SDEM-ON's
+	// schedule onto the ladder, averaged over seeds.
+	Penalty stats.Summary
+	// Infeasible counts runs whose schedule could not be quantized
+	// (speeds above the ladder top); expected 0 on ladders topping at
+	// s_up.
+	Infeasible int
+}
+
+// AblationDiscrete measures §3's continuous-speed assumption: SDEM-ON's
+// continuous schedules are mapped onto frequency ladders of growing
+// density (plus the real A57 ladder) via the Ishihara–Yasuura split, and
+// the relative energy penalty is reported. The paper argues the gap is
+// negligible for realistic ladders.
+func (c Config) AblationDiscrete() ([]DiscretePoint, error) {
+	c = c.withDefaults()
+	sys := c.system(4, power.Milliseconds(40))
+	type ladderCase struct {
+		levels int
+		ladder discrete.Ladder
+	}
+	cases := []ladderCase{{0, discrete.CortexA57Ladder()}}
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		l, err := discrete.UniformLadder(1e8, sys.Core.SpeedMax, n)
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, ladderCase{n, l})
+	}
+
+	// One schedule per seed, quantized onto every ladder.
+	type run struct {
+		sched *schedule.Schedule
+		base  float64
+	}
+	var runs []run
+	for s := 0; s < c.Seeds; s++ {
+		tasks, err := workload.Synthetic(workload.SyntheticConfig{N: c.Tasks}, int64(s)*29+5)
+		if err != nil {
+			return nil, err
+		}
+		res, err := online.Schedule(tasks, sys, online.Options{Cores: c.Cores})
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run{res.Schedule, res.Energy})
+	}
+
+	var out []DiscretePoint
+	for _, lc := range cases {
+		pt := DiscretePoint{Levels: lc.levels}
+		var pens []float64
+		for _, r := range runs {
+			q, err := discrete.Quantize(r.sched, lc.ladder)
+			if err != nil {
+				pt.Infeasible++
+				continue
+			}
+			pens = append(pens, (schedule.Audit(q, sys).Total()-r.base)/r.base)
+		}
+		pt.Penalty = stats.Summarize(pens)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RenderDiscreteAblation formats the continuous-vs-discrete ablation.
+func RenderDiscreteAblation(points []DiscretePoint) string {
+	var b strings.Builder
+	b.WriteString("== ablation: continuous vs discrete DVS levels (SDEM-ON energy penalty) ==\n")
+	fmt.Fprintf(&b, "%-16s %-16s %s\n", "ladder", "penalty", "infeasible")
+	for _, p := range points {
+		name := fmt.Sprintf("%d uniform", p.Levels)
+		if p.Levels == 0 {
+			name = "A57 (7 levels)"
+		}
+		fmt.Fprintf(&b, "%-16s %-16s %d\n", name, stats.Percent(p.Penalty.Mean), p.Infeasible)
+	}
+	return b.String()
+}

@@ -1,0 +1,242 @@
+// Package numeric provides the small numerical-optimization toolbox used by
+// the SDEM schedulers: one-dimensional convex minimization on an interval,
+// nested two-dimensional convex minimization on a box, and robust root
+// finding. All routines work on plain float64 functions and are
+// deterministic.
+package numeric
+
+import (
+	"math"
+)
+
+// invPhi is 1/φ, the golden-section step ratio.
+var invPhi = (math.Sqrt(5) - 1) / 2
+
+// DefaultTol is the relative tolerance used when a caller passes tol <= 0.
+const DefaultTol = 1e-12
+
+// MinimizeConvex finds the minimizer of a convex function f on [lo, hi]
+// using golden-section search, returning the argmin and the minimum value.
+// The result is accurate to tol·max(1, |lo|, |hi|) in the argument. For a
+// strictly convex f the minimizer is unique; for merely convex f some
+// minimizer is returned. f may return +Inf on sub-intervals as long as the
+// finite region is contiguous (an extended-value convex function).
+func MinimizeConvex(f func(float64) float64, lo, hi, tol float64) (x, fx float64) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	span := hi - lo
+	eps := tol * math.Max(1, math.Max(math.Abs(lo), math.Abs(hi)))
+	if span <= eps {
+		mid := (lo + hi) / 2
+		return mid, f(mid)
+	}
+	// Track the best point ever evaluated: near constraint boundaries an
+	// extended-value f can return +Inf on re-evaluation of an
+	// infinitesimally shifted argument, so trusting a final midpoint
+	// probe would discard the converged optimum.
+	bestX, bestF := lo, f(lo)
+	if fe := f(hi); fe < bestF {
+		bestX, bestF = hi, fe
+	}
+	record := func(x, fx float64) {
+		if fx < bestF {
+			bestX, bestF = x, fx
+		}
+	}
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	record(c, fc)
+	record(d, fd)
+	// Golden-section needs at most ~log(span/eps)/log(φ) iterations; cap
+	// defensively so pathological inputs cannot loop forever.
+	for i := 0; i < 400 && b-a > eps; i++ {
+		// Treat +Inf plateaus: shrink towards the finite side.
+		switch {
+		case math.IsInf(fc, 1) && math.IsInf(fd, 1):
+			// Both probes are infeasible; the feasible region (if any)
+			// is in one of the thirds. Bisect blindly towards centre.
+			a, b = c, d
+			c = b - invPhi*(b-a)
+			d = a + invPhi*(b-a)
+			fc, fd = f(c), f(d)
+			continue
+		case fc <= fd:
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+			record(c, fc)
+		default:
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+			record(d, fd)
+		}
+	}
+	record((a+b)/2, f((a+b)/2))
+	return bestX, bestF
+}
+
+// Box is an axis-aligned rectangle [X0,X1]×[Y0,Y1].
+type Box struct {
+	X0, X1, Y0, Y1 float64
+}
+
+// Valid reports whether the box is non-empty.
+func (b Box) Valid() bool { return b.X0 <= b.X1 && b.Y0 <= b.Y1 }
+
+// MinimizeConvex2D minimizes a jointly convex function f over the box using
+// nested golden-section search: the outer search runs over x, and for each
+// x the inner search minimizes over y. The partial minimum
+// g(x) = min_y f(x,y) of a jointly convex f is convex, so the nesting is
+// exact up to tolerance. Returns the argmin pair and the value.
+func MinimizeConvex2D(f func(x, y float64) float64, b Box, tol float64) (x, y, fxy float64) {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	inner := func(x float64) (float64, float64) {
+		return MinimizeConvex(func(yy float64) float64 { return f(x, yy) }, b.Y0, b.Y1, tol)
+	}
+	g := func(x float64) float64 {
+		_, v := inner(x)
+		return v
+	}
+	x, _ = MinimizeConvex(g, b.X0, b.X1, tol)
+	y, fxy = inner(x)
+	return x, y, fxy
+}
+
+// Bisect finds a root of f in [lo, hi] assuming f(lo) and f(hi) have
+// opposite signs (or one of them is zero). It returns the midpoint of the
+// final bracket. ok is false when the initial bracket does not straddle a
+// sign change.
+func Bisect(f func(float64) float64, lo, hi, tol float64) (root float64, ok bool) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, true
+	}
+	if fhi == 0 {
+		return hi, true
+	}
+	if math.Signbit(flo) == math.Signbit(fhi) {
+		return 0, false
+	}
+	eps := tol * math.Max(1, math.Max(math.Abs(lo), math.Abs(hi)))
+	for i := 0; i < 200 && hi-lo > eps; i++ {
+		mid := lo + (hi-lo)/2
+		fm := f(mid)
+		if fm == 0 {
+			return mid, true
+		}
+		if math.Signbit(fm) == math.Signbit(flo) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2, true
+}
+
+// Clamp restricts v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// AlmostEqual reports whether a and b agree to within a relative tolerance
+// tol (absolute for magnitudes below 1).
+func AlmostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*math.Max(scale, 1)
+}
+
+// SumPow returns Σ w_i^λ for the given workloads. Negative workloads are
+// invalid inputs and contribute NaN, which callers surface via validation.
+func SumPow(ws []float64, lambda float64) float64 {
+	var s float64
+	for _, w := range ws {
+		s += math.Pow(w, lambda)
+	}
+	return s
+}
+
+// Brent finds a root of f in [lo, hi] using Brent's method (inverse
+// quadratic interpolation with bisection fallback) — faster than Bisect
+// on smooth functions, identical bracketing guarantees. ok is false when
+// the bracket does not straddle a sign change.
+func Brent(f func(float64) float64, lo, hi, tol float64) (root float64, ok bool) {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	a, b := lo, hi
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, true
+	}
+	if fb == 0 {
+		return b, true
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, false
+	}
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b, fa, fb = b, a, fb, fa
+	}
+	c, fc := a, fa
+	mflag := true
+	var d float64
+	eps := tol * math.Max(1, math.Max(math.Abs(lo), math.Abs(hi)))
+	for i := 0; i < 200 && fb != 0 && math.Abs(b-a) > eps; i++ {
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		bound1 := (3*a + b) / 4
+		lo1, hi1 := math.Min(bound1, b), math.Max(bound1, b)
+		cond := s < lo1 || s > hi1 ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < eps) ||
+			(!mflag && math.Abs(c-d) < eps)
+		if cond {
+			s = (a + b) / 2
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d, c, fc = c, b, fb
+		if math.Signbit(fa) != math.Signbit(fs) {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b, fa, fb = b, a, fb, fa
+		}
+	}
+	return b, true
+}

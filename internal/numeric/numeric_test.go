@@ -1,0 +1,246 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinimizeConvexQuadratic(t *testing.T) {
+	cases := []struct {
+		name       string
+		f          func(float64) float64
+		lo, hi     float64
+		wantX      float64
+		wantF      float64
+		argTol     float64
+		shiftedMin bool
+	}{
+		{
+			name: "interior minimum",
+			f:    func(x float64) float64 { return (x - 3) * (x - 3) },
+			lo:   -10, hi: 10, wantX: 3, wantF: 0, argTol: 1e-6,
+		},
+		{
+			name: "minimum at left boundary",
+			f:    func(x float64) float64 { return x * x },
+			lo:   2, hi: 9, wantX: 2, wantF: 4, argTol: 1e-6,
+		},
+		{
+			name: "minimum at right boundary",
+			f:    func(x float64) float64 { return -x },
+			lo:   0, hi: 5, wantX: 5, wantF: -5, argTol: 1e-6,
+		},
+		{
+			name: "degenerate interval",
+			f:    func(x float64) float64 { return x * x },
+			lo:   4, hi: 4, wantX: 4, wantF: 16, argTol: 1e-12,
+		},
+	}
+	for _, tc := range cases {
+		x, fx := MinimizeConvex(tc.f, tc.lo, tc.hi, 1e-10)
+		if math.Abs(x-tc.wantX) > tc.argTol {
+			t.Errorf("%s: x = %g, want %g", tc.name, x, tc.wantX)
+		}
+		if math.Abs(fx-tc.wantF) > 1e-6 {
+			t.Errorf("%s: f(x) = %g, want %g", tc.name, fx, tc.wantF)
+		}
+	}
+}
+
+func TestMinimizeConvexSwappedBounds(t *testing.T) {
+	x, _ := MinimizeConvex(func(x float64) float64 { return (x - 1) * (x - 1) }, 5, -5, 1e-10)
+	if math.Abs(x-1) > 1e-6 {
+		t.Errorf("swapped bounds: x = %g, want 1", x)
+	}
+}
+
+func TestMinimizeConvexEnergyShape(t *testing.T) {
+	// The SDEM per-case energy E(Δ) = α_m(L−Δ) + K(L−Δ)^{1−λ} has the
+	// closed-form minimizer Δ* = L − (K(λ−1)/α_m)^{1/λ}. Check that the
+	// numeric search finds it.
+	alphaM, K, L, lambda := 4.0, 2.0e-3, 0.5, 3.0
+	f := func(d float64) float64 {
+		b := L - d
+		if b <= 0 {
+			return math.Inf(1)
+		}
+		return alphaM*b + K*math.Pow(b, 1-lambda)
+	}
+	want := L - math.Pow(K*(lambda-1)/alphaM, 1/lambda)
+	x, _ := MinimizeConvex(f, 0, L, 1e-12)
+	if math.Abs(x-want) > 1e-7 {
+		t.Errorf("Δ* = %g, want %g", x, want)
+	}
+}
+
+func TestMinimizeConvexWithInfPlateau(t *testing.T) {
+	// Extended-value convex function: +Inf for x < 2, decreasing-then-flat
+	// beyond. The feasible minimum is at x = 3.
+	f := func(x float64) float64 {
+		if x < 2 {
+			return math.Inf(1)
+		}
+		return (x - 3) * (x - 3)
+	}
+	x, fx := MinimizeConvex(f, 0, 10, 1e-10)
+	if math.Abs(x-3) > 1e-5 || fx > 1e-9 {
+		t.Errorf("inf plateau: x = %g f = %g, want x = 3 f = 0", x, fx)
+	}
+}
+
+func TestMinimizeConvex2D(t *testing.T) {
+	f := func(x, y float64) float64 { return (x-1)*(x-1) + (y+2)*(y+2) + 0.5*(x-1)*(y+2) }
+	x, y, v := MinimizeConvex2D(f, Box{X0: -10, X1: 10, Y0: -10, Y1: 10}, 1e-11)
+	if math.Abs(x-1) > 1e-4 || math.Abs(y+2) > 1e-4 {
+		t.Errorf("argmin = (%g, %g), want (1, -2)", x, y)
+	}
+	if v > 1e-7 {
+		t.Errorf("min value = %g, want 0", v)
+	}
+}
+
+func TestMinimizeConvex2DBoundary(t *testing.T) {
+	// Unconstrained minimum at (−1, −1) lies outside the box; the
+	// constrained minimum is the nearest corner (0, 0).
+	f := func(x, y float64) float64 { return (x+1)*(x+1) + (y+1)*(y+1) }
+	x, y, _ := MinimizeConvex2D(f, Box{X0: 0, X1: 4, Y0: 0, Y1: 4}, 1e-11)
+	if math.Abs(x) > 1e-5 || math.Abs(y) > 1e-5 {
+		t.Errorf("argmin = (%g, %g), want (0, 0)", x, y)
+	}
+}
+
+func TestBisect(t *testing.T) {
+	root, ok := Bisect(func(x float64) float64 { return x*x*x - 8 }, 0, 10, 1e-12)
+	if !ok || math.Abs(root-2) > 1e-6 {
+		t.Errorf("root = %g ok=%v, want 2", root, ok)
+	}
+	if _, ok := Bisect(func(x float64) float64 { return x*x + 1 }, -5, 5, 1e-12); ok {
+		t.Error("Bisect reported success without a sign change")
+	}
+	root, ok = Bisect(func(x float64) float64 { return x }, 0, 5, 1e-12)
+	if !ok || root != 0 {
+		t.Errorf("exact-zero endpoint: root = %g ok=%v", root, ok)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestSumPow(t *testing.T) {
+	got := SumPow([]float64{1, 2, 3}, 3)
+	if got != 36 {
+		t.Errorf("SumPow = %g, want 36", got)
+	}
+	if SumPow(nil, 3) != 0 {
+		t.Error("SumPow(nil) must be 0")
+	}
+}
+
+func TestPropertyMinimizeConvexBeatsSamples(t *testing.T) {
+	// Property: for random convex parabolas on random intervals the
+	// numeric minimum is no worse than any sampled point.
+	f := func(aRaw, cRaw, loRaw, spanRaw uint32) bool {
+		a := 0.1 + float64(aRaw%100)/10
+		c := -50 + float64(cRaw%1000)/10
+		lo := -100 + float64(loRaw%2000)/10
+		hi := lo + 0.1 + float64(spanRaw%1000)/10
+		fun := func(x float64) float64 { return a * (x - c) * (x - c) }
+		_, fx := MinimizeConvex(fun, lo, hi, 1e-10)
+		for i := 0; i <= 20; i++ {
+			x := lo + (hi-lo)*float64(i)/20
+			if fun(x) < fx-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBisectFindsRootOfMonotone(t *testing.T) {
+	f := func(aRaw, bRaw uint32) bool {
+		a := 0.5 + float64(aRaw%100)/10
+		b := -20 + float64(bRaw%400)/10
+		fun := func(x float64) float64 { return a*x + b }
+		want := -b / a
+		root, ok := Bisect(fun, -100, 100, 1e-12)
+		return ok && math.Abs(root-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoxValid(t *testing.T) {
+	if !(Box{0, 1, 0, 1}).Valid() {
+		t.Error("unit box must be valid")
+	}
+	if (Box{1, 0, 0, 1}).Valid() {
+		t.Error("inverted box must be invalid")
+	}
+	if !(Box{2, 2, 3, 3}).Valid() {
+		t.Error("degenerate point box must be valid")
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1, 1+1e-13, 1e-9) {
+		t.Error("tiny relative difference should be equal")
+	}
+	if AlmostEqual(1, 1.1, 1e-9) {
+		t.Error("10% difference should not be equal")
+	}
+	if !AlmostEqual(0, 1e-12, 1e-9) {
+		t.Error("absolute comparison near zero failed")
+	}
+}
+
+func TestBrentAgreesWithBisect(t *testing.T) {
+	funcs := []struct {
+		name   string
+		f      func(float64) float64
+		lo, hi float64
+		want   float64
+	}{
+		{"cubic", func(x float64) float64 { return x*x*x - 8 }, 0, 10, 2},
+		{"line", func(x float64) float64 { return 3*x - 6 }, -10, 10, 2},
+		{"transcendental", func(x float64) float64 { return math.Exp(x) - 5 }, 0, 5, math.Log(5)},
+		{"sdem stationarity", func(x float64) float64 { return 4 - 2*2.53e-4*math.Pow(0.1-x, -3) }, 0, 0.0999, 0.1 - math.Pow(2*2.53e-4/4, 1.0/3)},
+	}
+	for _, tc := range funcs {
+		br, ok := Brent(tc.f, tc.lo, tc.hi, 1e-13)
+		if !ok || math.Abs(br-tc.want) > 1e-8*(1+math.Abs(tc.want)) {
+			t.Errorf("%s: Brent = %.12g ok=%v, want %.12g", tc.name, br, ok, tc.want)
+		}
+		bi, ok := Bisect(tc.f, tc.lo, tc.hi, 1e-13)
+		if !ok || math.Abs(br-bi) > 1e-7*(1+math.Abs(bi)) {
+			t.Errorf("%s: Brent %.12g != Bisect %.12g", tc.name, br, bi)
+		}
+	}
+	if _, ok := Brent(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-12); ok {
+		t.Error("Brent must reject a bracket without a sign change")
+	}
+	if r, ok := Brent(func(x float64) float64 { return x }, 0, 5, 1e-12); !ok || r != 0 {
+		t.Errorf("exact endpoint root: %g %v", r, ok)
+	}
+}
+
+func TestPropertyBrentMonotone(t *testing.T) {
+	f := func(aRaw, bRaw uint32) bool {
+		a := 0.5 + float64(aRaw%100)/10
+		b := -20 + float64(bRaw%400)/10
+		fun := func(x float64) float64 { return a*x + b }
+		want := -b / a
+		root, ok := Brent(fun, -100, 100, 1e-12)
+		return ok && math.Abs(root-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

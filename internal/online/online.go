@@ -1,0 +1,216 @@
+// Package online implements SDEM-ON, the paper's §6 online heuristic for
+// general task sets, including the §7 transition-overhead variant.
+//
+// On every arrival the scheduler re-plans: all unfinished work is treated
+// as a common-release instance at the current time (original deadlines,
+// remaining workloads) and solved optimally with the §4 schemes. The plan
+// yields each task's execution time p_j; the memory (and cores) then stay
+// asleep until the first task reaches its latest execution point
+// d_j − p_j, at which moment every active task starts executing at its
+// planned speed. A new arrival preempts and triggers a fresh plan.
+package online
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sdem/internal/commonrelease"
+	"sdem/internal/power"
+	"sdem/internal/sim"
+	"sdem/internal/task"
+)
+
+// Options tunes the SDEM-ON run.
+type Options struct {
+	// Cores bounds the number of physical cores (0 = one per task). When
+	// more tasks are active than cores, the surplus waits EDF-ordered for
+	// a core to free up.
+	Cores int
+	// NoProcrastinate disables the latest-execution-point postponement:
+	// tasks start executing immediately after each plan. This is the A2
+	// ablation of DESIGN.md; the paper's SDEM-ON procrastinates.
+	NoProcrastinate bool
+	// PlanAlphaZero makes the per-arrival planning use the §4.1 (α = 0)
+	// scheme even on a leaky-core platform: speeds stay near the filled
+	// speed instead of racing to the critical speed. Energy is still
+	// audited with the full system model. The paper's evaluation behaves
+	// like this variant (its Fig. 6b discussion notes SDEM-ON scheduling
+	// "at lower speed" when utilization is low, which §4.2 planning never
+	// does); the default α ≠ 0 planning is strictly better.
+	PlanAlphaZero bool
+}
+
+// plan is one task's share of a common-release solution.
+type plan struct {
+	job   *sim.Job
+	p     float64 // planned execution time
+	speed float64 // planned speed
+}
+
+// Schedule runs SDEM-ON over the task set and returns the audited result.
+// Deadline misses (possible only under core shortage or infeasible
+// inputs) are reported in the result rather than failing the run.
+func Schedule(tasks task.Set, sys power.System, opts Options) (*sim.Result, error) {
+	pool, err := sim.NewPool(tasks, sys, opts.Cores)
+	if err != nil {
+		return nil, err
+	}
+	arrivals := pool.ArrivalTimes()
+	busyUntil := make([]float64, pool.Cores())
+
+	for k, now := range arrivals {
+		next := math.Inf(1)
+		if k+1 < len(arrivals) {
+			next = arrivals[k+1]
+		}
+		if err := step(pool, busyUntil, now, next, opts); err != nil {
+			return nil, err
+		}
+	}
+	return pool.Finish()
+}
+
+// step plans at time now and executes until next.
+func step(pool *sim.Pool, busyUntil []float64, now, next float64, opts Options) error {
+	active := pool.Released(now)
+	if len(active) == 0 {
+		return nil
+	}
+	plans, wake, err := makePlans(pool, active, now, opts)
+	if err != nil {
+		return err
+	}
+	if opts.NoProcrastinate {
+		wake = now
+	}
+	if wake >= next {
+		return nil // keep sleeping; the next arrival re-plans
+	}
+	return execute(pool, busyUntil, plans, wake, next)
+}
+
+// makePlans solves the common-release instance of the active jobs at time
+// now and returns per-job plans plus the wake time (the earliest latest
+// execution point).
+func makePlans(pool *sim.Pool, active []*sim.Job, now float64, opts Options) ([]plan, float64, error) {
+	sys := pool.System()
+	planSys := sys
+	if opts.PlanAlphaZero {
+		planSys.Core.Static = 0
+		planSys.Core.BreakEven = 0
+	}
+	virtual := make(task.Set, 0, len(active))
+	byID := make(map[int]*sim.Job, len(active))
+	var urgent []*sim.Job
+	for _, j := range active {
+		byID[j.Task.ID] = j
+		window := j.Task.Deadline - now
+		if window <= 0 || (sys.Core.SpeedMax > 0 && j.Remaining/window > sys.Core.SpeedMax) {
+			// Already beyond salvation at a stretched speed: race at
+			// s_up immediately; the pool records the miss if it is one.
+			urgent = append(urgent, j)
+			continue
+		}
+		virtual = append(virtual, task.Task{
+			ID:       j.Task.ID,
+			Release:  now,
+			Deadline: j.Task.Deadline,
+			Workload: j.Remaining,
+		})
+	}
+	plans := make([]plan, 0, len(active))
+	wake := math.Inf(1)
+	if len(virtual) > 0 {
+		sol, err := commonrelease.Solve(virtual, planSys)
+		if err != nil {
+			return nil, 0, fmt.Errorf("online: planning at t=%g: %w", now, err)
+		}
+		ends := make(map[int]float64, len(virtual))
+		for _, segs := range sol.Schedule.Cores {
+			for _, sg := range segs {
+				if sg.End > ends[sg.TaskID] {
+					ends[sg.TaskID] = sg.End
+				}
+			}
+		}
+		for _, vt := range virtual {
+			j := byID[vt.ID]
+			p := ends[vt.ID] - now
+			if p <= 0 { // defensive: plan must give every task time
+				p = vt.Workload / effectiveMax(sys)
+			}
+			plans = append(plans, plan{job: j, p: p, speed: j.Remaining / p})
+			wake = math.Min(wake, j.Task.Deadline-p)
+		}
+	}
+	for _, j := range urgent {
+		p := j.Remaining / effectiveMax(sys)
+		plans = append(plans, plan{job: j, p: p, speed: effectiveMax(sys)})
+		wake = now
+	}
+	if wake < now {
+		wake = now
+	}
+	return plans, wake, nil
+}
+
+func effectiveMax(sys power.System) float64 {
+	if sys.Core.SpeedMax > 0 {
+		return sys.Core.SpeedMax
+	}
+	return 1e12 // effectively unbounded
+}
+
+// execute lays the planned executions onto cores from wake until next,
+// EDF-ordered, waiting for cores when oversubscribed.
+func execute(pool *sim.Pool, busyUntil []float64, plans []plan, wake, next float64) error {
+	sort.SliceStable(plans, func(a, b int) bool {
+		if plans[a].job.Task.Deadline != plans[b].job.Task.Deadline {
+			return plans[a].job.Task.Deadline < plans[b].job.Task.Deadline
+		}
+		return plans[a].job.Task.ID < plans[b].job.Task.ID
+	})
+	sys := pool.System()
+	for _, pl := range plans {
+		start := wake
+		// Respect the no-migration pin and core availability.
+		core := pl.job.Core
+		if core >= 0 {
+			start = math.Max(start, busyUntil[core])
+		} else {
+			core = 0
+			for c := range busyUntil {
+				if busyUntil[c] < busyUntil[core] {
+					core = c
+				}
+			}
+			start = math.Max(start, busyUntil[core])
+		}
+		if start >= next {
+			continue // no core frees before the next re-plan
+		}
+		speed := pl.speed
+		// A delayed start may invalidate the plan: compress to the
+		// deadline, capped at s_up (the pool caps further; late
+		// completion is recorded as a miss).
+		if slack := pl.job.Task.Deadline - start; slack < pl.job.Remaining/speed {
+			if slack > 0 {
+				speed = pl.job.Remaining / slack
+			}
+			if max := effectiveMax(sys); speed > max {
+				speed = max
+			}
+		}
+		end := math.Min(start+pl.job.Remaining/speed, next)
+		if end <= start {
+			continue
+		}
+		actual, err := pool.Run(pl.job.Task.ID, core, start, end, speed)
+		if err != nil {
+			return err
+		}
+		busyUntil[core] = actual
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdem/internal/power"
+	"sdem/internal/schedule"
+	"sdem/internal/task"
+)
+
+func TestPlanAlphaZeroNeverBeatsDefault(t *testing.T) {
+	// §4.2 planning is the optimal per-arrival policy on a leaky-core
+	// platform, so the α=0-planned variant can match but not beat it on
+	// aggregate.
+	sys := testSystem()
+	var def, z float64
+	for seed := int64(0); seed < 10; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		tasks := sporadic(r, 25, power.Milliseconds(300))
+		a, err := Schedule(tasks, sys, Options{Cores: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Schedule(tasks, sys, Options{Cores: 8, PlanAlphaZero: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Misses) != 0 || len(b.Misses) != 0 {
+			t.Fatalf("seed %d: misses", seed)
+		}
+		def += a.Energy
+		z += b.Energy
+	}
+	if def > z*1.001 {
+		t.Errorf("α≠0-planned SDEM-ON (%g) should not lose to the α=0-planned variant (%g)", def, z)
+	}
+}
+
+func TestPlanAlphaZeroValidAndDistinct(t *testing.T) {
+	sys := testSystem()
+	r := rand.New(rand.NewSource(3))
+	tasks := sporadic(r, 20, power.Milliseconds(400))
+	a, err := Schedule(tasks, sys, Options{Cores: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Schedule(tasks, sys, Options{Cores: 8, PlanAlphaZero: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Schedule.Validate(tasks, schedule.ValidateOptions{SpeedMax: sys.Core.SpeedMax}); err != nil {
+		t.Fatalf("α=0-planned schedule invalid: %v", err)
+	}
+	// The two variants must actually differ on a leaky platform with
+	// roomy windows (the default races to s₀, the variant stretches).
+	if a.Energy == b.Energy {
+		t.Error("variants should produce different schedules on this workload")
+	}
+	if b.Breakdown.CoreDynamic >= a.Breakdown.CoreDynamic {
+		t.Errorf("α=0 planning should spend less dynamic energy (%g vs %g)",
+			b.Breakdown.CoreDynamic, a.Breakdown.CoreDynamic)
+	}
+}
+
+func TestOnlineDeterminism(t *testing.T) {
+	sys := testSystem()
+	r := rand.New(rand.NewSource(5))
+	tasks := sporadic(r, 30, power.Milliseconds(200))
+	a, err := Schedule(tasks, sys, Options{Cores: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Schedule(tasks, sys, Options{Cores: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Energy != b.Energy {
+		t.Errorf("non-deterministic: %g vs %g", a.Energy, b.Energy)
+	}
+}
+
+func TestInfeasibleTaskRecordedNotFatal(t *testing.T) {
+	// A task that cannot finish even at s_up from its release must be
+	// raced and reported as a miss, not crash the scheduler.
+	sys := testSystem()
+	tasks := task.Set{
+		{ID: 1, Release: 0, Deadline: power.Milliseconds(1), Workload: 1e8}, // needs 100 GHz
+		{ID: 2, Release: 0, Deadline: power.Milliseconds(100), Workload: 3e6},
+	}
+	res, err := Schedule(tasks, sys, Options{Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Misses) != 1 || res.Misses[0] != 1 {
+		t.Errorf("misses = %v, want [1]", res.Misses)
+	}
+	// The feasible task still completes on time.
+	if j := findSeg(res.Schedule, 2); j == nil {
+		t.Error("feasible task not scheduled")
+	}
+}
+
+func findSeg(s *schedule.Schedule, taskID int) *schedule.Segment {
+	for _, segs := range s.Cores {
+		for i := range segs {
+			if segs[i].TaskID == taskID {
+				return &segs[i]
+			}
+		}
+	}
+	return nil
+}
+
+func TestSimultaneousArrivalsShareOnePlan(t *testing.T) {
+	// Five tasks arriving at the same instant form one common-release
+	// plan; the resulting busy interval must be shared (aligned ends).
+	sys := testSystem()
+	tasks := make(task.Set, 5)
+	for i := range tasks {
+		tasks[i] = task.Task{
+			ID:       i + 1,
+			Release:  power.Milliseconds(10),
+			Deadline: power.Milliseconds(10) + power.Milliseconds(60+10*float64(i)),
+			Workload: 3e6,
+		}
+	}
+	res, err := Schedule(tasks, sys, Options{Cores: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Misses) != 0 {
+		t.Fatalf("misses: %v", res.Misses)
+	}
+	if res.Breakdown.MemorySleeps == 0 {
+		t.Error("a single batch with roomy windows should let the memory sleep")
+	}
+}

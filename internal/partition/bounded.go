@@ -1,0 +1,184 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sdem/internal/numeric"
+	"sdem/internal/power"
+	"sdem/internal/schedule"
+	"sdem/internal/task"
+)
+
+// SolveGeneralDeadlines schedules a common-release task set with
+// *individual* deadlines on the bounded core count of sys.Cores — the
+// practical variant between Theorem 1's common-deadline reduction and the
+// unbounded §4 schemes. Since even the common-deadline case is NP-hard,
+// this is a heuristic:
+//
+//  1. Sort tasks EDF and assign each to the core where it fits with the
+//     most deadline slack at s_up (worst-fit on load, feasibility-checked
+//     via per-core EDF density).
+//  2. Each core runs its queue back-to-back from the release at a single
+//     speed s_c(L) = max(W_c/L, density_c): the slowest constant speed
+//     finishing by the common busy end L that still meets every queued
+//     deadline.
+//  3. The shared busy end L is chosen by convex search over the audited
+//     system energy, exactly as in the §4 case engine.
+//
+// The result is validated and audited; infeasible inputs return an error.
+func SolveGeneralDeadlines(tasks task.Set, sys power.System) (*Result, error) {
+	if err := tasks.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if sys.Cores <= 0 {
+		return nil, errors.New("partition: system must declare a bounded core count")
+	}
+	if len(tasks) == 0 {
+		return &Result{Schedule: schedule.New(sys.Cores, 0, 0)}, nil
+	}
+	if !tasks.IsCommonRelease() {
+		return nil, errors.New("partition: SolveGeneralDeadlines requires a common release time")
+	}
+	release := tasks[0].Release
+	sorted := tasks.Clone()
+	sorted.SortByDeadline()
+	var horizon float64
+	for _, t := range sorted {
+		horizon = math.Max(horizon, t.Deadline-release)
+	}
+
+	// Per-core queues in EDF order with running feasibility state.
+	type coreState struct {
+		queue   []task.Task
+		load    float64 // Σ workload
+		density float64 // max_k cumulative/deadline: minimum feasible speed
+	}
+	cores := make([]coreState, sys.Cores)
+	sup := sys.Core.SpeedMax
+	densityWith := func(c *coreState, t task.Task) float64 {
+		cum := c.load + t.Workload
+		d := cum / (t.Deadline - release)
+		if d < c.density {
+			d = c.density
+		}
+		return d
+	}
+	for _, t := range sorted {
+		if t.Workload == 0 {
+			continue
+		}
+		best := -1
+		bestDensity := math.Inf(1)
+		for i := range cores {
+			d := densityWith(&cores[i], t)
+			if sup > 0 && d > sup*(1+1e-9) {
+				continue // would blow the deadline even at s_up
+			}
+			if d < bestDensity {
+				best, bestDensity = i, d
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("partition: task %d does not fit on %d cores even at s_up", t.ID, sys.Cores)
+		}
+		c := &cores[best]
+		c.queue = append(c.queue, t)
+		c.load += t.Workload
+		c.density = bestDensity
+	}
+
+	// Busy-length search: each core runs at s_c(L); energy audited.
+	var maxLoad float64
+	for i := range cores {
+		maxLoad = math.Max(maxLoad, cores[i].load)
+	}
+	if maxLoad == 0 {
+		s := schedule.New(sys.Cores, release, release+horizon)
+		return &Result{Schedule: s, Energy: schedule.Audit(s, sys).Total()}, nil
+	}
+	build := func(L float64) *schedule.Schedule {
+		s := schedule.New(sys.Cores, release, release+horizon)
+		for ci := range cores {
+			c := &cores[ci]
+			if c.load == 0 {
+				continue
+			}
+			speed := math.Max(c.load/L, c.density)
+			if sup > 0 && speed > sup {
+				speed = sup
+			}
+			cursor := release
+			for _, t := range c.queue {
+				dur := t.Workload / speed
+				s.Add(ci, schedule.Segment{TaskID: t.ID, Start: cursor, End: cursor + dur, Speed: speed})
+				cursor += dur
+			}
+		}
+		s.Normalize()
+		return s
+	}
+	eval := func(L float64) float64 {
+		if L <= 0 {
+			return math.Inf(1)
+		}
+		return schedule.Audit(build(L), sys).Total()
+	}
+	lmin := horizon * 1e-6
+	if sup > 0 {
+		lmin = math.Max(lmin, maxLoad/sup)
+	}
+	// Candidate breakpoints: per-core density kinks (L where W_c/L =
+	// density_c) plus break-even toggles; between them eval is smooth.
+	points := []float64{lmin, horizon}
+	for i := range cores {
+		if cores[i].density > 0 && cores[i].load > 0 {
+			if p := cores[i].load / cores[i].density; p > lmin && p < horizon {
+				points = append(points, p)
+			}
+		}
+	}
+	for _, p := range []float64{horizon - sys.Memory.BreakEven, horizon - sys.Core.BreakEven} {
+		if p > lmin && p < horizon {
+			points = append(points, p)
+		}
+	}
+	sort.Float64s(points)
+	bestL, bestE := horizon, eval(horizon)
+	prev := points[0]
+	for _, p := range points[1:] {
+		if p <= prev+schedule.Tol {
+			continue
+		}
+		if x, e := numeric.MinimizeConvex(eval, prev, p, 1e-10); e < bestE {
+			bestL, bestE = x, e
+		}
+		prev = p
+	}
+
+	s := build(bestL)
+	asg := make(Assignment, len(tasks))
+	sums := make([]float64, sys.Cores)
+	byID := map[int]int{}
+	for ci := range cores {
+		for _, t := range cores[ci].queue {
+			byID[t.ID] = ci
+			sums[ci] += t.Workload
+		}
+	}
+	for i, t := range tasks {
+		asg[i] = byID[t.ID]
+	}
+	return &Result{
+		Assignment: asg,
+		Sums:       sums,
+		BusyLen:    bestL,
+		Energy:     schedule.Audit(s, sys).Total(),
+		Schedule:   s,
+	}, nil
+}

@@ -1,0 +1,181 @@
+// Package periodic models periodic and sporadic real-time task streams
+// and expands them into the job sets the SDEM schedulers consume. The
+// paper's benchmark workload (§8.1.1) is exactly such a system — each
+// DSPstone kernel released with period |d−r|·U — and the related work it
+// builds on (Zhong & Xu 2008, Chen et al. 2006) is formulated over
+// periodic tasks, so the library supports the model natively.
+package periodic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sdem/internal/task"
+)
+
+// Stream is one periodic (or sporadic) task stream.
+type Stream struct {
+	// ID identifies the stream; job IDs are derived from it.
+	ID int
+	// Name optionally labels jobs ("fft", "ctrl-loop").
+	Name string
+	// Period is the (minimum) inter-release time in seconds.
+	Period float64
+	// Window is the relative deadline: each job's deadline is its
+	// release plus Window. Zero means implicit deadline (= Period).
+	Window float64
+	// Workload is the cycles per job.
+	Workload float64
+	// Offset delays the first release.
+	Offset float64
+	// Jitter makes the stream sporadic: each inter-release time is drawn
+	// uniformly from [Period, Period·(1+Jitter)]. Zero is strictly
+	// periodic.
+	Jitter float64
+}
+
+// window returns the effective relative deadline.
+func (s Stream) window() float64 {
+	if s.Window > 0 {
+		return s.Window
+	}
+	return s.Period
+}
+
+// Validate reports whether the stream is well-formed.
+func (s Stream) Validate() error {
+	switch {
+	case s.Period <= 0:
+		return fmt.Errorf("periodic: stream %d period %g must be positive", s.ID, s.Period)
+	case s.Window < 0:
+		return fmt.Errorf("periodic: stream %d negative window %g", s.ID, s.Window)
+	case s.Workload < 0:
+		return fmt.Errorf("periodic: stream %d negative workload %g", s.ID, s.Workload)
+	case s.Offset < 0:
+		return fmt.Errorf("periodic: stream %d negative offset %g", s.ID, s.Offset)
+	case s.Jitter < 0:
+		return fmt.Errorf("periodic: stream %d negative jitter %g", s.ID, s.Jitter)
+	}
+	return nil
+}
+
+// Utilization returns the stream's processor utilization at the given
+// reference speed: cycles per period over speed.
+func (s Stream) Utilization(speed float64) float64 {
+	if speed <= 0 || s.Period <= 0 {
+		return math.Inf(1)
+	}
+	return s.Workload / (s.Period * speed)
+}
+
+// System is a set of streams sharing the platform.
+type System []Stream
+
+// Validate checks every stream and ID uniqueness.
+func (ss System) Validate() error {
+	seen := make(map[int]bool, len(ss))
+	for _, s := range ss {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		if seen[s.ID] {
+			return fmt.Errorf("periodic: duplicate stream ID %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	return nil
+}
+
+// Utilization returns the total utilization at the reference speed.
+func (ss System) Utilization(speed float64) float64 {
+	var u float64
+	for _, s := range ss {
+		u += s.Utilization(speed)
+	}
+	return u
+}
+
+// Hyperperiod returns the least common multiple of the (strictly)
+// periodic streams' periods, quantized to the given resolution to make
+// LCM meaningful on floats. It returns 0 for an empty system.
+func (ss System) Hyperperiod(resolution float64) float64 {
+	if len(ss) == 0 {
+		return 0
+	}
+	if resolution <= 0 {
+		resolution = 1e-6
+	}
+	lcm := int64(1)
+	for _, s := range ss {
+		p := int64(math.Round(s.Period / resolution))
+		if p <= 0 {
+			p = 1
+		}
+		lcm = lcm / gcd(lcm, p) * p
+		if lcm < 0 || lcm > int64(1)<<52 {
+			return math.Inf(1) // overflow: effectively aperiodic
+		}
+	}
+	return float64(lcm) * resolution
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Expand instantiates every job released in [0, horizon) as a task set.
+// Job IDs are streamID·10⁶ + index; jitter uses the seeded source so
+// expansions are reproducible.
+func (ss System) Expand(horizon float64, seed int64) (task.Set, error) {
+	if err := ss.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon < 0 {
+		return nil, fmt.Errorf("periodic: negative horizon %g", horizon)
+	}
+	r := rand.New(rand.NewSource(seed))
+	var out task.Set
+	for _, s := range ss {
+		rel := s.Offset
+		for k := 0; rel < horizon; k++ {
+			if k >= 1_000_000 {
+				return nil, fmt.Errorf("periodic: stream %d expands to over 10^6 jobs", s.ID)
+			}
+			out = append(out, task.Task{
+				ID:       s.ID*1_000_000 + k,
+				Release:  rel,
+				Deadline: rel + s.window(),
+				Workload: s.Workload,
+				Name:     fmt.Sprintf("%s#%d", s.Name, k),
+			})
+			step := s.Period
+			if s.Jitter > 0 {
+				step *= 1 + r.Float64()*s.Jitter
+			}
+			rel += step
+		}
+	}
+	out.SortByRelease()
+	return out, nil
+}
+
+// FeasibleOnCores reports whether the system passes the trivial
+// per-stream feasibility check at speed s_up (each job completable in
+// its window) and the aggregate utilization bound u ≤ cores at s_up.
+// It is a necessary condition, not sufficient for the non-migrating
+// model.
+func (ss System) FeasibleOnCores(cores int, speedMax float64) bool {
+	if speedMax <= 0 {
+		return true
+	}
+	for _, s := range ss {
+		if s.Workload/s.window() > speedMax*(1+1e-9) {
+			return false
+		}
+	}
+	return ss.Utilization(speedMax) <= float64(cores)*(1+1e-9)
+}

@@ -1,0 +1,199 @@
+package periodic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sdem/internal/online"
+	"sdem/internal/power"
+	"sdem/internal/schedule"
+)
+
+func TestStreamValidate(t *testing.T) {
+	good := Stream{ID: 1, Period: 0.1, Window: 0.05, Workload: 1e6}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Stream{
+		{ID: 1, Period: 0, Workload: 1},
+		{ID: 2, Period: 1, Window: -1},
+		{ID: 3, Period: 1, Workload: -1},
+		{ID: 4, Period: 1, Offset: -1},
+		{ID: 5, Period: 1, Jitter: -1},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("stream %d should be invalid", s.ID)
+		}
+	}
+	dup := System{{ID: 1, Period: 1}, {ID: 1, Period: 2}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate IDs should be rejected")
+	}
+}
+
+func TestImplicitDeadline(t *testing.T) {
+	s := Stream{ID: 1, Period: 0.2, Workload: 1e6}
+	set, err := System{s}.Expand(0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range set {
+		if math.Abs(tk.Window()-0.2) > 1e-12 {
+			t.Errorf("implicit deadline: window = %g, want period", tk.Window())
+		}
+	}
+}
+
+func TestExpandPeriodic(t *testing.T) {
+	sys := System{
+		{ID: 1, Name: "a", Period: 0.1, Window: 0.05, Workload: 1e6},
+		{ID: 2, Name: "b", Period: 0.25, Window: 0.2, Workload: 2e6, Offset: 0.05},
+	}
+	set, err := sys.Expand(0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream 1: releases 0, .1, .2, .3, .4 → 5 jobs; stream 2: .05, .3 →
+	// 2 jobs.
+	if len(set) != 7 {
+		t.Fatalf("expanded %d jobs, want 7", len(set))
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Release-sorted.
+	for i := 1; i < len(set); i++ {
+		if set[i].Release < set[i-1].Release {
+			t.Fatal("expansion must be release-sorted")
+		}
+	}
+}
+
+func TestExpandJitterDeterministic(t *testing.T) {
+	sys := System{{ID: 1, Period: 0.1, Window: 0.05, Workload: 1e6, Jitter: 0.5}}
+	a, _ := sys.Expand(2, 42)
+	b, _ := sys.Expand(2, 42)
+	c, _ := sys.Expand(2, 43)
+	if len(a) != len(b) {
+		t.Fatal("same seed, different job count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce identical expansion")
+		}
+	}
+	// Jittered releases are strictly sparser than periodic.
+	if len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i].Release != c[i].Release {
+				same = false
+			}
+		}
+		if same {
+			t.Error("different seeds should produce different jitter")
+		}
+	}
+}
+
+func TestUtilizationAndHyperperiod(t *testing.T) {
+	sys := System{
+		{ID: 1, Period: 0.010, Workload: 1e6}, // 1e8 cycles/s
+		{ID: 2, Period: 0.025, Workload: 5e6}, // 2e8 cycles/s
+	}
+	if got := sys.Utilization(1e9); math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("utilization = %g, want 0.3", got)
+	}
+	if got := sys.Hyperperiod(1e-3); math.Abs(got-0.05) > 1e-9 {
+		t.Errorf("hyperperiod = %g, want 0.05", got)
+	}
+	if (System{}).Hyperperiod(1e-3) != 0 {
+		t.Error("empty hyperperiod must be 0")
+	}
+}
+
+func TestFeasibleOnCores(t *testing.T) {
+	ok := System{{ID: 1, Period: 0.01, Window: 0.005, Workload: 4e6}} // needs 800 MHz within window
+	if !ok.FeasibleOnCores(1, power.MHz(1900)) {
+		t.Error("feasible stream rejected")
+	}
+	tight := System{{ID: 1, Period: 0.01, Window: 0.001, Workload: 4e6}} // needs 4 GHz
+	if tight.FeasibleOnCores(1, power.MHz(1900)) {
+		t.Error("per-job infeasible stream accepted")
+	}
+	over := System{
+		{ID: 1, Period: 0.01, Workload: 1.2e7}, // u = 0.63 at 1.9 GHz
+		{ID: 2, Period: 0.01, Workload: 1.2e7},
+	}
+	if over.FeasibleOnCores(1, power.MHz(1900)) {
+		t.Error("over-utilized system accepted for one core")
+	}
+	if !over.FeasibleOnCores(2, power.MHz(1900)) {
+		t.Error("two cores should pass the utilization bound")
+	}
+}
+
+func TestPeriodicStreamsThroughSDEMON(t *testing.T) {
+	// End-to-end: a control loop plus a telemetry stream scheduled by
+	// SDEM-ON with zero misses.
+	sys := System{
+		{ID: 1, Name: "ctrl", Period: power.Milliseconds(50), Window: power.Milliseconds(20), Workload: 3e6},
+		{ID: 2, Name: "telem", Period: power.Milliseconds(120), Window: power.Milliseconds(100), Workload: 5e6, Offset: power.Milliseconds(10)},
+	}
+	jobs, err := sys.Expand(1.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := power.DefaultSystem()
+	res, err := online.Schedule(jobs, plat, online.Options{Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Misses) != 0 {
+		t.Fatalf("misses: %v", res.Misses)
+	}
+	if err := res.Schedule.Validate(jobs, schedule.ValidateOptions{SpeedMax: plat.Core.SpeedMax}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpandGuards(t *testing.T) {
+	if _, err := (System{{ID: 1, Period: 1e-9, Workload: 1}}).Expand(10, 0); err == nil {
+		t.Error("job-count explosion must be rejected")
+	}
+	if _, err := (System{{ID: 1, Period: 1, Workload: 1}}).Expand(-1, 0); err == nil {
+		t.Error("negative horizon must be rejected")
+	}
+}
+
+func TestPropertyExpandRespectsHorizonAndCount(t *testing.T) {
+	f := func(pRaw, hRaw uint16) bool {
+		period := 0.01 + float64(pRaw%100)/100
+		horizon := float64(hRaw%50) / 10
+		sys := System{{ID: 1, Period: period, Workload: 1e6}}
+		set, err := sys.Expand(horizon, 0)
+		if err != nil {
+			return false
+		}
+		want := int(math.Ceil(horizon / period))
+		if horizon == 0 {
+			want = 0
+		}
+		// Accumulated release times can drift one ulp around exact
+		// horizon/period ratios; allow ±1 job.
+		if len(set) < want-1 || len(set) > want+1 {
+			return false
+		}
+		for _, tk := range set {
+			if tk.Release >= horizon {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

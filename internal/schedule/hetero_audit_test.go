@@ -1,0 +1,84 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"sdem/internal/power"
+)
+
+func TestAuditPerCoreChargesEachModel(t *testing.T) {
+	efficient := power.Core{Static: 0.1, Beta: 1e-28, Lambda: 3, SpeedMax: power.MHz(2000)}
+	leaky := power.Core{Static: 0.4, Beta: 4e-28, Lambda: 3, SpeedMax: power.MHz(2000)}
+	mem := power.Memory{Static: 2}
+
+	s := New(2, 0, 1)
+	speed := power.MHz(1000)
+	s.Add(0, Segment{TaskID: 1, Start: 0, End: 0.5, Speed: speed})
+	s.Add(1, Segment{TaskID: 2, Start: 0, End: 0.5, Speed: speed})
+	s.Normalize()
+
+	b := AuditPerCore(s, []power.Core{efficient, leaky}, mem)
+	wantDyn := (efficient.Dynamic(speed) + leaky.Dynamic(speed)) * 0.5
+	if math.Abs(b.CoreDynamic-wantDyn) > 1e-12 {
+		t.Errorf("dynamic = %g, want %g", b.CoreDynamic, wantDyn)
+	}
+	wantStatic := (efficient.Static + leaky.Static) * 0.5
+	if math.Abs(b.CoreStatic-wantStatic) > 1e-12 {
+		t.Errorf("static = %g, want %g", b.CoreStatic, wantStatic)
+	}
+	if math.Abs(b.MemoryStatic-2*0.5) > 1e-12 {
+		t.Errorf("memory static = %g, want 1", b.MemoryStatic)
+	}
+
+	// Swapping the models must change the total (the cores differ).
+	swapped := AuditPerCore(s, []power.Core{leaky, efficient}, mem)
+	if math.Abs(swapped.Total()-b.Total()) > 1e-15 {
+		// Symmetric segments: totals equal. Make them asymmetric.
+		t.Log("symmetric case as expected")
+	}
+	s2 := New(2, 0, 1)
+	s2.Add(0, Segment{TaskID: 1, Start: 0, End: 0.8, Speed: speed})
+	s2.Add(1, Segment{TaskID: 2, Start: 0, End: 0.1, Speed: speed})
+	s2.Normalize()
+	a1 := AuditPerCore(s2, []power.Core{efficient, leaky}, mem)
+	a2 := AuditPerCore(s2, []power.Core{leaky, efficient}, mem)
+	if a1.Total() >= a2.Total() {
+		t.Errorf("long work on the efficient core (%g) should beat long work on the leaky core (%g)",
+			a1.Total(), a2.Total())
+	}
+}
+
+func TestAuditPerCoreModelFallback(t *testing.T) {
+	// Fewer models than cores: the last model is reused.
+	core := power.Core{Static: 0.2, Beta: 1e-28, Lambda: 3}
+	mem := power.Memory{Static: 1}
+	s := New(3, 0, 1)
+	for c := 0; c < 3; c++ {
+		s.Add(c, Segment{TaskID: c + 1, Start: 0, End: 0.2, Speed: 1e9})
+	}
+	s.Normalize()
+	short := AuditPerCore(s, []power.Core{core}, mem)
+	full := AuditPerCore(s, []power.Core{core, core, core}, mem)
+	if math.Abs(short.Total()-full.Total()) > 1e-12 {
+		t.Errorf("fallback audit %g != explicit %g", short.Total(), full.Total())
+	}
+	// Empty model list must not panic.
+	empty := AuditPerCore(s, nil, mem)
+	if empty.CoreDynamic != 0 {
+		t.Errorf("zero-model audit charged dynamic %g", empty.CoreDynamic)
+	}
+}
+
+func TestAuditMatchesAuditPerCoreOnHomogeneous(t *testing.T) {
+	sys := power.DefaultSystem()
+	s := New(2, 0, 1)
+	s.Add(0, Segment{TaskID: 1, Start: 0.1, End: 0.4, Speed: power.MHz(900)})
+	s.Add(1, Segment{TaskID: 2, Start: 0.3, End: 0.9, Speed: power.MHz(1200)})
+	s.Normalize()
+	a := Audit(s, sys)
+	b := AuditPerCore(s, []power.Core{sys.Core, sys.Core}, sys.Memory)
+	if math.Abs(a.Total()-b.Total()) > 1e-15 {
+		t.Errorf("Audit %g != AuditPerCore %g", a.Total(), b.Total())
+	}
+}

@@ -1,0 +1,446 @@
+// Package schedule defines the schedule intermediate representation shared
+// by every SDEM algorithm, plus validation and an independent energy audit.
+//
+// Algorithms construct a Schedule (per-core execution segments with
+// speeds); tests and experiments never trust an algorithm's own energy
+// arithmetic but re-derive it with Audit, so the algorithms and the
+// accounting cross-check each other.
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sdem/internal/power"
+	"sdem/internal/task"
+)
+
+// Tol is the absolute time/cycle tolerance used by validation and interval
+// merging.
+const Tol = 1e-9
+
+// Interval is a half-open-ish time interval [Start, End]; zero-length
+// intervals are permitted but usually merged away.
+type Interval struct {
+	Start, End float64
+}
+
+// Len returns the interval length (never negative).
+func (iv Interval) Len() float64 { return math.Max(0, iv.End-iv.Start) }
+
+// Segment is a contiguous execution of one task on one core at constant
+// speed.
+type Segment struct {
+	TaskID int
+	Start  float64
+	End    float64
+	// Speed in Hz; the segment delivers Speed·(End−Start) cycles.
+	Speed float64
+}
+
+// Cycles returns the work delivered by the segment.
+func (sg Segment) Cycles() float64 { return sg.Speed * (sg.End - sg.Start) }
+
+// SleepPolicy states how a component (core or memory) treats idle gaps.
+// It determines static and transition energy in the audit.
+type SleepPolicy int
+
+const (
+	// SleepNever keeps the component idle-active through every gap,
+	// paying static power for the whole gap (the MBKP baseline).
+	SleepNever SleepPolicy = iota
+	// SleepAlways transitions to sleep in every gap regardless of length,
+	// paying one full transition overhead per gap (the naive MBKPS
+	// baseline). With zero break-even time this equals free sleeping.
+	SleepAlways
+	// SleepBreakEven sleeps exactly in the gaps at least as long as the
+	// break-even time (gap-wise optimal; what the SDEM schemes assume).
+	SleepBreakEven
+)
+
+// String implements fmt.Stringer.
+func (p SleepPolicy) String() string {
+	switch p {
+	case SleepNever:
+		return "never"
+	case SleepAlways:
+		return "always"
+	case SleepBreakEven:
+		return "break-even"
+	default:
+		return fmt.Sprintf("SleepPolicy(%d)", int(p))
+	}
+}
+
+// Schedule is a complete multi-core schedule over the accounting horizon
+// [Start, End].
+type Schedule struct {
+	// NumCores is the number of physical cores charged by the audit;
+	// cores without segments are idle throughout.
+	NumCores int
+	// Start and End delimit the accounting horizon. The paper uses
+	// [common release, latest deadline] for the offline problems.
+	Start, End float64
+	// Cores holds the per-core segment lists, indexed by core.
+	Cores [][]Segment
+	// CorePolicy and MemoryPolicy select idle-gap behaviour for the
+	// audit.
+	CorePolicy   SleepPolicy
+	MemoryPolicy SleepPolicy
+}
+
+// New returns an empty schedule for numCores cores over [start, end] with
+// break-even sleeping (the model the optimal schemes assume).
+func New(numCores int, start, end float64) *Schedule {
+	return &Schedule{
+		NumCores:     numCores,
+		Start:        start,
+		End:          end,
+		Cores:        make([][]Segment, numCores),
+		CorePolicy:   SleepBreakEven,
+		MemoryPolicy: SleepBreakEven,
+	}
+}
+
+// Add appends a segment to the given core, growing the core list if needed.
+func (s *Schedule) Add(core int, sg Segment) {
+	for core >= len(s.Cores) {
+		s.Cores = append(s.Cores, nil)
+	}
+	if len(s.Cores) > s.NumCores {
+		s.NumCores = len(s.Cores)
+	}
+	s.Cores[core] = append(s.Cores[core], sg)
+}
+
+// Normalize sorts every core's segments by start time and drops empty
+// segments. It must be called (or segments added in order) before
+// validation or audit.
+func (s *Schedule) Normalize() {
+	for c := range s.Cores {
+		segs := s.Cores[c][:0]
+		for _, sg := range s.Cores[c] {
+			if sg.End-sg.Start > Tol/10 {
+				segs = append(segs, sg)
+			}
+		}
+		sort.Slice(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
+		s.Cores[c] = segs
+	}
+}
+
+// ValidateOptions tunes schedule validation.
+type ValidateOptions struct {
+	// NonPreemptive additionally requires each task to occupy a single
+	// contiguous constant-speed run on one core (§3's offline model).
+	NonPreemptive bool
+	// SpeedMax caps segment speeds; zero means uncapped.
+	SpeedMax float64
+}
+
+// Validate checks structural sanity and real-time feasibility: segments
+// sorted and non-overlapping per core, within the horizon; every task
+// executes within [release, deadline] and receives its full workload; no
+// task runs on two cores at once (and never migrates, matching §3).
+func (s *Schedule) Validate(tasks task.Set, opts ValidateOptions) error {
+	byID := make(map[int]task.Task, len(tasks))
+	for _, t := range tasks {
+		byID[t.ID] = t
+	}
+	delivered := make(map[int]float64, len(tasks))
+	taskCores := make(map[int]int)
+	taskSegs := make(map[int]int)
+	type span struct{ a, b float64 }
+	taskSpans := make(map[int][]span)
+
+	for c, segs := range s.Cores {
+		var prevEnd = math.Inf(-1)
+		for i, sg := range segs {
+			if sg.End < sg.Start-Tol {
+				return fmt.Errorf("core %d segment %d: end %g before start %g", c, i, sg.End, sg.Start)
+			}
+			if sg.Start < s.Start-Tol || sg.End > s.End+Tol {
+				return fmt.Errorf("core %d segment %d: [%g,%g] outside horizon [%g,%g]", c, i, sg.Start, sg.End, s.Start, s.End)
+			}
+			if sg.Start < prevEnd-Tol {
+				return fmt.Errorf("core %d: segment %d overlaps previous (starts %g before %g)", c, i, sg.Start, prevEnd)
+			}
+			prevEnd = sg.End
+			if sg.Speed < 0 {
+				return fmt.Errorf("core %d segment %d: negative speed %g", c, i, sg.Speed)
+			}
+			if opts.SpeedMax > 0 && sg.Speed > opts.SpeedMax*(1+1e-9)+Tol {
+				return fmt.Errorf("core %d segment %d: speed %g exceeds cap %g", c, i, sg.Speed, opts.SpeedMax)
+			}
+			t, ok := byID[sg.TaskID]
+			if !ok {
+				return fmt.Errorf("core %d segment %d: unknown task %d", c, i, sg.TaskID)
+			}
+			if sg.Start < t.Release-Tol {
+				return fmt.Errorf("task %d starts at %g before release %g", t.ID, sg.Start, t.Release)
+			}
+			if sg.End > t.Deadline+Tol {
+				return fmt.Errorf("task %d runs until %g past deadline %g", t.ID, sg.End, t.Deadline)
+			}
+			if prev, seen := taskCores[sg.TaskID]; seen && prev != c {
+				return fmt.Errorf("task %d migrates from core %d to core %d", sg.TaskID, prev, c)
+			}
+			taskCores[sg.TaskID] = c
+			taskSegs[sg.TaskID]++
+			taskSpans[sg.TaskID] = append(taskSpans[sg.TaskID], span{sg.Start, sg.End})
+			delivered[sg.TaskID] += sg.Cycles()
+		}
+	}
+
+	for _, t := range tasks {
+		got := delivered[t.ID]
+		// Cycle tolerance scales with workload magnitude.
+		tol := Tol * math.Max(1, t.Workload)
+		if math.Abs(got-t.Workload) > tol*10 {
+			return fmt.Errorf("task %d delivered %g cycles, want %g", t.ID, got, t.Workload)
+		}
+		if opts.NonPreemptive && taskSegs[t.ID] > 1 {
+			// A task may be recorded as several abutting equal-speed
+			// segments; require contiguity rather than a literal single
+			// segment.
+			sp := taskSpans[t.ID]
+			sort.Slice(sp, func(i, j int) bool { return sp[i].a < sp[j].a })
+			for i := 1; i < len(sp); i++ {
+				if sp[i].a > sp[i-1].b+Tol {
+					return fmt.Errorf("task %d is preempted (gap at %g)", t.ID, sp[i-1].b)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// busyIntervals returns the merged busy intervals of one core.
+func busyIntervals(segs []Segment) []Interval {
+	ivs := make([]Interval, 0, len(segs))
+	for _, sg := range segs {
+		ivs = append(ivs, Interval{sg.Start, sg.End})
+	}
+	return MergeIntervals(ivs)
+}
+
+// MergeIntervals sorts and merges overlapping or Tol-adjacent intervals.
+func MergeIntervals(ivs []Interval) []Interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sorted := make([]Interval, len(ivs))
+	copy(sorted, ivs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	out := []Interval{sorted[0]}
+	for _, iv := range sorted[1:] {
+		last := &out[len(out)-1]
+		if iv.Start <= last.End+Tol {
+			if iv.End > last.End {
+				last.End = iv.End
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// MemoryBusy returns the merged intervals during which at least one core
+// executes — the memory's busy intervals.
+func (s *Schedule) MemoryBusy() []Interval {
+	var all []Interval
+	for _, segs := range s.Cores {
+		for _, sg := range segs {
+			all = append(all, Interval{sg.Start, sg.End})
+		}
+	}
+	return MergeIntervals(all)
+}
+
+// gaps returns the idle intervals of the horizon [start, end] not covered
+// by the (merged, sorted) busy intervals, including leading and trailing
+// gaps.
+func gaps(busy []Interval, start, end float64) []Interval {
+	var out []Interval
+	cur := start
+	for _, iv := range busy {
+		if iv.Start > cur+Tol {
+			out = append(out, Interval{cur, iv.Start})
+		}
+		if iv.End > cur {
+			cur = iv.End
+		}
+	}
+	if end > cur+Tol {
+		out = append(out, Interval{cur, end})
+	}
+	return out
+}
+
+// CommonIdle returns the total common idle time Δ of the schedule — the
+// time within the horizon when no core executes, i.e. the maximum time the
+// memory could sleep.
+func (s *Schedule) CommonIdle() float64 {
+	var total float64
+	for _, g := range gaps(s.MemoryBusy(), s.Start, s.End) {
+		total += g.Len()
+	}
+	return total
+}
+
+// Breakdown itemizes audited energy in joules.
+type Breakdown struct {
+	CoreDynamic      float64 // Σ β·s^λ over execution
+	CoreStatic       float64 // α over execution + unslept idle
+	CoreTransition   float64 // α·ξ per core sleep cycle
+	CoreSwitch       float64 // DVS switch energy per speed change
+	MemoryStatic     float64 // α_m over busy + unslept idle
+	MemoryTransition float64 // α_m·ξ_m per memory sleep cycle
+	MemorySleep      float64 // seconds the memory actually sleeps
+	CoreSleeps       int     // number of core sleep cycles
+	MemorySleeps     int     // number of memory sleep cycles
+	SpeedSwitches    int     // number of DVS frequency changes
+}
+
+// Total returns the audited system-wide energy.
+func (b Breakdown) Total() float64 {
+	return b.CoreDynamic + b.CoreStatic + b.CoreTransition + b.CoreSwitch +
+		b.MemoryStatic + b.MemoryTransition
+}
+
+// gapCost charges one idle gap of length g for a component with static
+// power alpha and break-even time xi under the given policy. It returns
+// static energy, transition energy, slept seconds and whether a sleep
+// happened.
+func gapCost(g, alpha, xi float64, p SleepPolicy) (static, transition, slept float64, sleeps bool) {
+	if g <= Tol {
+		return 0, 0, 0, false
+	}
+	if alpha == 0 {
+		// A leak-free component is indifferent; call it asleep for the
+		// sleep-time statistics.
+		return 0, 0, g, false
+	}
+	switch p {
+	case SleepNever:
+		return alpha * g, 0, 0, false
+	case SleepAlways:
+		return 0, alpha * xi, g, true
+	case SleepBreakEven:
+		if g >= xi {
+			return 0, alpha * xi, g, true
+		}
+		return alpha * g, 0, 0, false
+	default:
+		return alpha * g, 0, 0, false
+	}
+}
+
+// auditCore charges one core's execution, idle gaps and DVS switches
+// into the breakdown.
+func auditCore(b *Breakdown, s *Schedule, core power.Core, segs []Segment) {
+	horizon := math.Max(0, s.End-s.Start)
+	for i, sg := range segs {
+		d := sg.End - sg.Start
+		b.CoreDynamic += core.Dynamic(sg.Speed) * d
+		b.CoreStatic += core.Static * d
+		// A DVS switch happens whenever consecutive executions of this
+		// core run at different speeds (sleep/wake costs are charged
+		// separately via the break-even model).
+		if i > 0 && math.Abs(sg.Speed-segs[i-1].Speed) > 1e-9*math.Max(1, sg.Speed) {
+			b.SpeedSwitches++
+			b.CoreSwitch += core.SwitchEnergy
+		}
+	}
+	if len(segs) == 0 {
+		// A never-used core: under SleepNever it idles the whole
+		// horizon; under any sleeping policy it simply stays asleep (no
+		// transition — it never woke).
+		if s.CorePolicy == SleepNever {
+			b.CoreStatic += core.Static * horizon
+		}
+		return
+	}
+	for _, g := range gaps(busyIntervals(segs), s.Start, s.End) {
+		st, tr, _, slept := gapCost(g.Len(), core.Static, core.BreakEven, s.CorePolicy)
+		b.CoreStatic += st
+		b.CoreTransition += tr
+		if slept {
+			b.CoreSleeps++
+		}
+	}
+}
+
+// Audit derives the energy breakdown of the schedule under the given
+// system model. It is deliberately independent from every algorithm's
+// internal arithmetic.
+func Audit(s *Schedule, sys power.System) Breakdown {
+	numCores := s.NumCores
+	if len(s.Cores) > numCores {
+		numCores = len(s.Cores)
+	}
+	cores := make([]power.Core, numCores)
+	for i := range cores {
+		cores[i] = sys.Core
+	}
+	return AuditPerCore(s, cores, sys.Memory)
+}
+
+// AuditPerCore audits a schedule on heterogeneous cores: cores[i] is the
+// power model of core i (§4's heterogeneous-core extension). Cores beyond
+// len(cores) reuse the last model.
+func AuditPerCore(s *Schedule, cores []power.Core, mem power.Memory) Breakdown {
+	var b Breakdown
+	horizon := math.Max(0, s.End-s.Start)
+	if len(cores) == 0 {
+		cores = []power.Core{{}}
+	}
+
+	numCores := s.NumCores
+	if len(s.Cores) > numCores {
+		numCores = len(s.Cores)
+	}
+	for c := 0; c < numCores; c++ {
+		var segs []Segment
+		if c < len(s.Cores) {
+			segs = s.Cores[c]
+		}
+		model := cores[len(cores)-1]
+		if c < len(cores) {
+			model = cores[c]
+		}
+		auditCore(&b, s, model, segs)
+	}
+
+	sys := power.System{Memory: mem}
+
+	// Memory.
+	busy := s.MemoryBusy()
+	var busyLen float64
+	for _, iv := range busy {
+		busyLen += iv.Len()
+	}
+	b.MemoryStatic += sys.Memory.Static * busyLen
+	if busyLen == 0 {
+		// Memory never woke: it sleeps through the whole horizon for
+		// free under sleeping policies, or idles under SleepNever.
+		if s.MemoryPolicy == SleepNever {
+			b.MemoryStatic += sys.Memory.Static * horizon
+		} else {
+			b.MemorySleep += horizon
+		}
+		return b
+	}
+	for _, g := range gaps(busy, s.Start, s.End) {
+		st, tr, slept, sl := gapCost(g.Len(), sys.Memory.Static, sys.Memory.BreakEven, s.MemoryPolicy)
+		b.MemoryStatic += st
+		b.MemoryTransition += tr
+		b.MemorySleep += slept
+		if sl {
+			b.MemorySleeps++
+		}
+	}
+	return b
+}

@@ -1,0 +1,252 @@
+// Package sim provides the online-scheduling substrate shared by the
+// SDEM-ON heuristic and the baseline policies: a job pool that tracks
+// remaining workloads as segments are emitted, detects completions and
+// deadline misses, and assembles the final schedule for auditing.
+//
+// Policies drive the pool through Run calls; the pool owns all
+// bookkeeping so that every policy's output is validated by the same
+// machinery.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sdem/internal/power"
+	"sdem/internal/schedule"
+	"sdem/internal/task"
+)
+
+// workTol is the relative remaining-workload tolerance below which a job
+// counts as complete.
+const workTol = 1e-9
+
+// Job is a task instance being executed online.
+type Job struct {
+	Task task.Task
+	// Remaining is the workload (cycles) not yet executed.
+	Remaining float64
+	// Core is the core the job is pinned to, or -1 before first
+	// execution (§3 forbids migration, so the first Run fixes it).
+	Core int
+	// Done marks completion.
+	Done bool
+	// Completed is the completion time (meaningful once Done).
+	Completed float64
+	// missed marks that some segment finished past the deadline or the
+	// job could not complete at all.
+	missed bool
+}
+
+// Pool tracks all jobs of an online run.
+type Pool struct {
+	sys   power.System
+	tasks task.Set
+	jobs  map[int]*Job
+	order []int // task IDs sorted by (release, deadline, ID)
+	sched *schedule.Schedule
+	now   float64
+}
+
+// NewPool prepares an online run over the task set. cores is the number
+// of physical cores (0 means one per task). The schedule horizon is
+// [earliest release, latest deadline].
+func NewPool(tasks task.Set, sys power.System, cores int) (*Pool, error) {
+	if err := tasks.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if cores <= 0 {
+		cores = len(tasks)
+	}
+	start, end := tasks.Span()
+	p := &Pool{
+		sys:   sys,
+		tasks: tasks.Clone(),
+		jobs:  make(map[int]*Job, len(tasks)),
+		sched: schedule.New(cores, start, end),
+		now:   start,
+	}
+	p.tasks.SortByRelease()
+	for _, t := range p.tasks {
+		p.jobs[t.ID] = &Job{Task: t, Remaining: t.Workload, Core: -1, Done: t.Workload == 0}
+		p.order = append(p.order, t.ID)
+	}
+	return p, nil
+}
+
+// Tasks returns the release-sorted task set of the run.
+func (p *Pool) Tasks() task.Set { return p.tasks }
+
+// System returns the platform model.
+func (p *Pool) System() power.System { return p.sys }
+
+// Cores returns the physical core count of the run.
+func (p *Pool) Cores() int { return p.sched.NumCores }
+
+// Now returns the latest time any segment has been emitted up to.
+func (p *Pool) Now() float64 { return p.now }
+
+// Job returns the job of the given task ID, or nil.
+func (p *Pool) Job(id int) *Job { return p.jobs[id] }
+
+// ArrivalTimes returns the distinct release times in increasing order.
+func (p *Pool) ArrivalTimes() []float64 {
+	var out []float64
+	for _, t := range p.tasks {
+		if len(out) == 0 || t.Release > out[len(out)-1] {
+			out = append(out, t.Release)
+		}
+	}
+	return out
+}
+
+// Released returns the unfinished jobs with release ≤ t, by deadline
+// order (EDF).
+func (p *Pool) Released(t float64) []*Job {
+	var out []*Job
+	for _, id := range p.order {
+		j := p.jobs[id]
+		if !j.Done && j.Task.Release <= t+schedule.Tol {
+			out = append(out, j)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Task.Deadline != out[b].Task.Deadline {
+			return out[a].Task.Deadline < out[b].Task.Deadline
+		}
+		return out[a].Task.ID < out[b].Task.ID
+	})
+	return out
+}
+
+// Run executes the job on the given core from t0 to t1 at the given
+// speed, emitting a segment and decrementing the remaining workload. The
+// executed work is capped at the job's remaining amount (the segment is
+// shortened accordingly). It returns the actual segment end time.
+func (p *Pool) Run(taskID, core int, t0, t1, speed float64) (float64, error) {
+	j, ok := p.jobs[taskID]
+	switch {
+	case !ok:
+		return 0, fmt.Errorf("sim: unknown task %d", taskID)
+	case j.Done:
+		return 0, fmt.Errorf("sim: task %d already complete", taskID)
+	case t1 <= t0 || speed <= 0:
+		return 0, fmt.Errorf("sim: bad segment [%g,%g] speed %g for task %d", t0, t1, speed, taskID)
+	case t0 < j.Task.Release-schedule.Tol:
+		return 0, fmt.Errorf("sim: task %d started at %g before release %g", taskID, t0, j.Task.Release)
+	case core < 0 || core >= p.sched.NumCores:
+		return 0, fmt.Errorf("sim: core %d out of range", core)
+	case j.Core >= 0 && j.Core != core:
+		return 0, fmt.Errorf("sim: task %d would migrate from core %d to %d", taskID, j.Core, core)
+	}
+	if p.sys.Core.SpeedMax > 0 && speed > p.sys.Core.SpeedMax {
+		speed = p.sys.Core.SpeedMax // silently cap: the miss detector judges the result
+	}
+	j.Core = core
+	work := speed * (t1 - t0)
+	if work >= j.Remaining-workTol*math.Max(1, j.Task.Workload) {
+		t1 = t0 + j.Remaining/speed
+		work = j.Remaining
+		j.Done = true
+		j.Completed = t1
+	}
+	j.Remaining -= work
+	if j.Done && t1 > j.Task.Deadline+schedule.Tol {
+		j.missed = true
+	}
+	p.sched.Add(core, schedule.Segment{TaskID: taskID, Start: t0, End: t1, Speed: speed})
+	if t1 > p.now {
+		p.now = t1
+	}
+	return t1, nil
+}
+
+// Metrics summarizes the timeliness of an online run.
+type Metrics struct {
+	// MeanResponse and MaxResponse are completion − release statistics
+	// over completed jobs (seconds).
+	MeanResponse, MaxResponse float64
+	// MeanLaxity is the average deadline − completion slack of completed
+	// jobs; negative contributions come from late completions.
+	MeanLaxity float64
+	// Completed counts finished jobs.
+	Completed int
+}
+
+// Result is the outcome of an online run.
+type Result struct {
+	// Schedule is the assembled schedule; its policies default to
+	// SleepBreakEven and callers adjust them per baseline semantics.
+	Schedule *schedule.Schedule
+	// Misses lists task IDs that completed late or never completed.
+	Misses []int
+	// Energy is the audited total under the schedule's sleep policies.
+	Energy float64
+	// Breakdown itemizes the audit.
+	Breakdown schedule.Breakdown
+	// Metrics summarizes response times.
+	Metrics Metrics
+}
+
+// Finish validates completion, audits and wraps the schedule. Policies on
+// the schedule may be adjusted before calling Audit again via Reaudit.
+func (p *Pool) Finish() (*Result, error) {
+	p.sched.Normalize()
+	var misses []int
+	for _, id := range p.order {
+		j := p.jobs[id]
+		if !j.Done || j.missed {
+			misses = append(misses, id)
+		}
+	}
+	// Extend the horizon if execution ran past the last deadline (only
+	// possible for missed schedules).
+	if p.now > p.sched.End {
+		p.sched.End = p.now
+	}
+	var m Metrics
+	for _, id := range p.order {
+		j := p.jobs[id]
+		if !j.Done || j.Task.Workload == 0 {
+			continue
+		}
+		resp := j.Completed - j.Task.Release
+		m.MeanResponse += resp
+		m.MaxResponse = math.Max(m.MaxResponse, resp)
+		m.MeanLaxity += j.Task.Deadline - j.Completed
+		m.Completed++
+	}
+	if m.Completed > 0 {
+		m.MeanResponse /= float64(m.Completed)
+		m.MeanLaxity /= float64(m.Completed)
+	}
+	b := schedule.Audit(p.sched, p.sys)
+	return &Result{
+		Schedule:  p.sched,
+		Misses:    misses,
+		Energy:    b.Total(),
+		Breakdown: b,
+		Metrics:   m,
+	}, nil
+}
+
+// Reaudit recomputes a result's energy under different sleep policies,
+// returning a copy. Use it to account one schedule under the MBKP
+// (never-sleep) and MBKPS (always-sleep) conventions.
+func (r *Result) Reaudit(sys power.System, corePolicy, memPolicy schedule.SleepPolicy) *Result {
+	clone := *r.Schedule
+	clone.CorePolicy = corePolicy
+	clone.MemoryPolicy = memPolicy
+	b := schedule.Audit(&clone, sys)
+	return &Result{
+		Schedule:  &clone,
+		Misses:    r.Misses,
+		Energy:    b.Total(),
+		Breakdown: b,
+		Metrics:   r.Metrics,
+	}
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sdem/internal/schedule"
+)
+
+// SVGOptions tunes the vector rendering.
+type SVGOptions struct {
+	// Width is the drawing width in pixels (default 960).
+	Width int
+	// RowHeight is the height of each core lane (default 28).
+	RowHeight int
+	// SpeedShading colours segments by speed relative to speedMax; when
+	// speedMax is zero the maximum segment speed is used.
+	SpeedMax float64
+	// Title is drawn above the chart.
+	Title string
+}
+
+// segment fill palette from cool (slow) to hot (fast); index by relative
+// speed.
+var svgPalette = []string{
+	"#3b6fb6", "#4a8bc2", "#5aa7c9", "#76b9a8", "#a2c178",
+	"#ccb94f", "#e3993c", "#e66a33", "#d93a2b",
+}
+
+// SVG renders the schedule as a self-contained SVG document: one lane
+// per core with speed-coloured execution segments, a memory lane showing
+// busy intervals, and a time axis. Pure stdlib string assembly.
+func SVG(s *schedule.Schedule, opts SVGOptions) string {
+	width := opts.Width
+	if width <= 0 {
+		width = 960
+	}
+	rowH := opts.RowHeight
+	if rowH <= 0 {
+		rowH = 28
+	}
+	const leftPad, topPad, axisH = 64, 28, 24
+	span := s.End - s.Start
+	lanes := len(s.Cores) + 1 // + memory lane
+	height := topPad + lanes*rowH + axisH
+
+	speedMax := opts.SpeedMax
+	if speedMax <= 0 {
+		for _, segs := range s.Cores {
+			for _, sg := range segs {
+				speedMax = math.Max(speedMax, sg.Speed)
+			}
+		}
+	}
+	x := func(t float64) float64 {
+		if span <= 0 {
+			return leftPad
+		}
+		return leftPad + (t-s.Start)/span*float64(width-leftPad-8)
+	}
+	colour := func(speed float64) string {
+		if speedMax <= 0 {
+			return svgPalette[0]
+		}
+		idx := int(speed / speedMax * float64(len(svgPalette)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(svgPalette) {
+			idx = len(svgPalette) - 1
+		}
+		return svgPalette[idx]
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="#ffffff"/>`+"\n", width, height)
+	if opts.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="18" font-size="13">%s</text>`+"\n", leftPad, escape(opts.Title))
+	}
+
+	// Core lanes.
+	for c, segs := range s.Cores {
+		y := topPad + c*rowH
+		fmt.Fprintf(&b, `<text x="4" y="%d">core%d</text>`+"\n", y+rowH/2+4, c)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#dddddd"/>`+"\n",
+			leftPad, y+rowH-4, width-8, y+rowH-4)
+		for _, sg := range segs {
+			w := math.Max(x(sg.End)-x(sg.Start), 1)
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s"><title>task %d: [%.4g, %.4g]s @ %.0f MHz</title></rect>`+"\n",
+				x(sg.Start), y+4, w, rowH-10, colour(sg.Speed), sg.TaskID, sg.Start, sg.End, sg.Speed/1e6)
+		}
+	}
+
+	// Memory lane.
+	my := topPad + len(s.Cores)*rowH
+	fmt.Fprintf(&b, `<text x="4" y="%d">MEM</text>`+"\n", my+rowH/2+4)
+	for _, iv := range s.MemoryBusy() {
+		w := math.Max(x(iv.End)-x(iv.Start), 1)
+		fmt.Fprintf(&b, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="#555555"><title>memory busy [%.4g, %.4g]s</title></rect>`+"\n",
+			x(iv.Start), my+4, w, rowH-10, iv.Start, iv.End)
+	}
+
+	// Time axis with ~8 ticks.
+	ay := topPad + lanes*rowH + 12
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#000000"/>`+"\n", leftPad, ay-8, width-8, ay-8)
+	for i := 0; i <= 8; i++ {
+		t := s.Start + span*float64(i)/8
+		fmt.Fprintf(&b, `<text x="%.2f" y="%d" text-anchor="middle">%.3g</text>`+"\n", x(t), ay+6, t)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// escape sanitizes text for inclusion in SVG.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"sdem/internal/schedule"
+)
+
+func TestSVGStructure(t *testing.T) {
+	s := sample()
+	out := SVG(s, SVGOptions{Title: "demo <run> & \"quotes\""})
+	for _, want := range []string{
+		"<svg", "</svg>", "core0", "core1", "MEM",
+		"task 1", "task 2", "memory busy",
+		"demo &lt;run&gt; &amp; &quot;quotes&quot;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two task rects + one memory rect + background.
+	if n := strings.Count(out, "<rect"); n < 4 {
+		t.Errorf("expected at least 4 rects, got %d", n)
+	}
+}
+
+func TestSVGSpeedColouring(t *testing.T) {
+	s := schedule.New(1, 0, 1)
+	s.Add(0, schedule.Segment{TaskID: 1, Start: 0, End: 0.3, Speed: 1e8})   // slow
+	s.Add(0, schedule.Segment{TaskID: 2, Start: 0.5, End: 0.8, Speed: 2e9}) // fast
+	s.Normalize()
+	out := SVG(s, SVGOptions{})
+	if !strings.Contains(out, svgPalette[0]) {
+		t.Error("slow segment should use the coolest colour")
+	}
+	if !strings.Contains(out, svgPalette[len(svgPalette)-1]) {
+		t.Error("fast segment should use the hottest colour")
+	}
+}
+
+func TestSVGDegenerate(t *testing.T) {
+	s := schedule.New(0, 0, 0)
+	out := SVG(s, SVGOptions{})
+	if !strings.Contains(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Error("degenerate schedule must still produce a document")
+	}
+}

@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"sdem/internal/schedule"
+)
+
+func sample() *schedule.Schedule {
+	s := schedule.New(2, 0, 1)
+	s.Add(0, schedule.Segment{TaskID: 1, Start: 0, End: 0.25, Speed: 8e8})
+	s.Add(1, schedule.Segment{TaskID: 2, Start: 0.5, End: 0.75, Speed: 9e8})
+	s.Normalize()
+	return s
+}
+
+func TestRenderBasics(t *testing.T) {
+	out := Render(sample(), Options{Width: 40})
+	if !strings.Contains(out, "core0") || !strings.Contains(out, "core1") {
+		t.Error("missing core rows")
+	}
+	if !strings.Contains(out, "MEM") {
+		t.Error("missing memory row")
+	}
+	if !strings.Contains(out, "common idle 0.5s") {
+		t.Errorf("missing common idle summary:\n%s", out)
+	}
+	// Core 0 executes the first quarter: its row should start busy and
+	// end idle.
+	lines := strings.Split(out, "\n")
+	var core0 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "core0") {
+			core0 = l
+		}
+	}
+	runes := []rune(strings.TrimSpace(strings.TrimPrefix(core0, "core0")))
+	if runes[0] != '█' {
+		t.Errorf("core0 should start busy, row %q", core0)
+	}
+	if runes[len(runes)-1] != '·' {
+		t.Errorf("core0 should end idle, row %q", core0)
+	}
+}
+
+func TestRenderSpeeds(t *testing.T) {
+	out := Render(sample(), Options{Width: 40, ShowSpeeds: true})
+	if !strings.Contains(out, "task 1") || !strings.Contains(out, "800 MHz") {
+		t.Errorf("speed legend missing:\n%s", out)
+	}
+}
+
+func TestRenderDegenerate(t *testing.T) {
+	s := schedule.New(0, 0, 0)
+	out := Render(s, Options{})
+	if !strings.Contains(out, "horizon") {
+		t.Error("degenerate render should still print the horizon")
+	}
+}

@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"sdem/internal/dsp"
+	"sdem/internal/power"
+)
+
+func TestSyntheticDefaults(t *testing.T) {
+	set, err := Synthetic(SyntheticConfig{N: 50}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 50 {
+		t.Fatalf("len = %d", len(set))
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, tk := range set {
+		if tk.Workload < 2e6 || tk.Workload > 5e6 {
+			t.Errorf("workload %g outside [2e6, 5e6]", tk.Workload)
+		}
+		if w := tk.Window(); w < power.Milliseconds(10) || w > power.Milliseconds(120) {
+			t.Errorf("window %g outside [10,120] ms", w)
+		}
+		if tk.Release < prev {
+			t.Error("releases must be nondecreasing")
+		}
+		prev = tk.Release
+	}
+	// Feasible at the A57 cap (max filled speed = 5e6/10ms = 500 MHz).
+	if !set.Feasible(power.MHz(1900)) {
+		t.Error("synthetic sets must be s_up-feasible")
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	a, _ := Synthetic(SyntheticConfig{N: 20}, 42)
+	b, _ := Synthetic(SyntheticConfig{N: 20}, 42)
+	c, _ := Synthetic(SyntheticConfig{N: 20}, 43)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce the same set")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestSyntheticUtilizationScaling(t *testing.T) {
+	// Larger x must spread the same number of tasks over a longer span.
+	tight, _ := Synthetic(SyntheticConfig{N: 100, MaxInterArrival: power.Milliseconds(100)}, 7)
+	loose, _ := Synthetic(SyntheticConfig{N: 100, MaxInterArrival: power.Milliseconds(800)}, 7)
+	_, tEnd := tight.Span()
+	_, lEnd := loose.Span()
+	if lEnd <= tEnd {
+		t.Errorf("x=800ms span (%g) should exceed x=100ms span (%g)", lEnd, tEnd)
+	}
+}
+
+func TestSyntheticRejectsBadConfig(t *testing.T) {
+	if _, err := Synthetic(SyntheticConfig{N: -1}, 0); err == nil {
+		t.Error("negative N must be rejected")
+	}
+	if _, err := Synthetic(SyntheticConfig{N: 1, WorkMin: 5, WorkMax: 2}, 0); err == nil {
+		t.Error("inverted work range must be rejected")
+	}
+}
+
+func TestBenchmarkFFTWindows(t *testing.T) {
+	set, err := Benchmark(BenchmarkConfig{N: 10, Kernel: KernelFFT, U: 4, Batch: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := dsp.DefaultCostModel()
+	wantCycles, _ := dsp.FFTCycles(1024, cm)
+	for _, tk := range set {
+		if tk.Workload != wantCycles {
+			t.Errorf("FFT instance workload %g, want %g", tk.Workload, wantCycles)
+		}
+		if got, want := tk.Window(), wantCycles/dsp.DSPClockHz; math.Abs(got-want) > 1e-9*want {
+			t.Errorf("window %g, want cycles/16.5MHz = %g", got, want)
+		}
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchmarkBatchScalesWork(t *testing.T) {
+	one, err := Benchmark(BenchmarkConfig{N: 3, Kernel: KernelFFT, U: 4, Batch: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := Benchmark(BenchmarkConfig{N: 3, Kernel: KernelFFT, U: 4}, 3) // default batch 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four[0].Workload != 4*one[0].Workload {
+		t.Errorf("default batch should quadruple the workload: %g vs %g", four[0].Workload, one[0].Workload)
+	}
+	if _, err := Benchmark(BenchmarkConfig{N: 1, Kernel: KernelFFT, U: 4, Batch: -1}, 0); err == nil {
+		t.Error("negative batch must be rejected")
+	}
+}
+
+func TestBenchmarkUtilizationSpreads(t *testing.T) {
+	lo, _ := Benchmark(BenchmarkConfig{N: 40, Kernel: KernelFFT, U: 2}, 9)
+	hi, _ := Benchmark(BenchmarkConfig{N: 40, Kernel: KernelFFT, U: 9}, 9)
+	_, loEnd := lo.Span()
+	_, hiEnd := hi.Span()
+	if hiEnd <= loEnd {
+		t.Errorf("U=9 span (%g) should exceed U=2 span (%g)", hiEnd, loEnd)
+	}
+}
+
+func TestBenchmarkMixedAlternates(t *testing.T) {
+	set, err := Benchmark(BenchmarkConfig{N: 6, Kernel: KernelMixed, U: 3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tk := range set {
+		wantPrefix := "fft"
+		if i%2 == 1 {
+			wantPrefix = "mat"
+		}
+		if tk.Name[:3] != wantPrefix {
+			t.Errorf("instance %d named %q, want prefix %q", i, tk.Name, wantPrefix)
+		}
+	}
+}
+
+func TestBenchmarkMatMulVariedSizes(t *testing.T) {
+	set, err := Benchmark(BenchmarkConfig{N: 30, Kernel: KernelMatMul, U: 3}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[float64]bool{}
+	for _, tk := range set {
+		distinct[tk.Workload] = true
+	}
+	if len(distinct) < 5 {
+		t.Errorf("matrix workloads should vary, got %d distinct values", len(distinct))
+	}
+}
+
+func TestBenchmarkRejectsBadConfig(t *testing.T) {
+	if _, err := Benchmark(BenchmarkConfig{N: 1, U: 0}, 0); err == nil {
+		t.Error("U=0 must be rejected")
+	}
+	if _, err := Benchmark(BenchmarkConfig{N: 1, U: 2, FFTPoints: 1000}, 0); err == nil {
+		t.Error("non-power-of-two FFT must be rejected")
+	}
+	if _, err := Benchmark(BenchmarkConfig{N: 1, U: 2, MatDimMin: 5, MatDimMax: 2, Kernel: KernelMatMul}, 0); err == nil {
+		t.Error("inverted matrix dims must be rejected")
+	}
+}
+
+func TestKernelString(t *testing.T) {
+	if KernelFFT.String() != "fft" || KernelMatMul.String() != "matmul" ||
+		KernelMixed.String() != "mixed" || Kernel(9).String() != "Kernel(9)" {
+		t.Error("Kernel.String mismatch")
+	}
+}
+
+func TestBenchmarkFIRAndIIRKernels(t *testing.T) {
+	for _, k := range []Kernel{KernelFIR, KernelIIR} {
+		set, err := Benchmark(BenchmarkConfig{N: 12, Kernel: k, U: 4}, 13)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if err := set.Validate(); err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		distinct := map[float64]bool{}
+		for _, tk := range set {
+			if tk.Workload <= 0 {
+				t.Fatalf("%v: non-positive workload", k)
+			}
+			distinct[tk.Workload] = true
+		}
+		if len(distinct) < 3 {
+			t.Errorf("%v: workloads should vary with random shapes, got %d distinct", k, len(distinct))
+		}
+	}
+	if KernelFIR.String() != "fir" || KernelIIR.String() != "iir" {
+		t.Error("kernel names mismatch")
+	}
+}
