@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: check build vet test lint fmt
+
+# check chains the same steps CI runs (.github/workflows/ci.yml).
+check: build vet test lint
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) run ./cmd/sdemlint ./...
+
+fmt:
+	gofmt -l -w .

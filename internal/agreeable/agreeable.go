@@ -34,6 +34,11 @@ import (
 	"sdem/internal/task"
 )
 
+// relTol is the package's relative speed/feasibility tolerance; it matches
+// schedule.Tol (1e-9) by value. The 2-D searches and their convergence
+// checks run on the tighter derived scales relTol/100 and relTol/1000.
+const relTol = 1e-9
+
 // ErrNotAgreeable is returned when the task set violates the
 // agreeable-deadline property.
 var ErrNotAgreeable = errors.New("agreeable: task set is not agreeable")
@@ -113,7 +118,7 @@ func newSolver(tasks task.Set, sys power.System, m mode) (*solver, error) {
 	sorted.SortByDeadline()
 	s.start, s.end = sorted.Span()
 	for _, t := range sorted {
-		if t.Workload == 0 {
+		if numeric.IsZero(t.Workload, 0) {
 			s.zeros = append(s.zeros, t)
 			continue
 		}
@@ -127,7 +132,7 @@ func newSolver(tasks task.Set, sys power.System, m mode) (*solver, error) {
 			s0 := s.sys.Core.CriticalSpeed(t.FilledSpeed())
 			// ConstrainedCriticalSpeed returns the filled speed when the
 			// idle tail left by racing is below the core break-even.
-			s.stretched[k] = sc < s0-1e-12*s0
+			s.stretched[k] = sc < s0-(relTol/1000)*s0
 		}
 	}
 	return s, nil
@@ -144,7 +149,7 @@ func (s *solver) coreEnergy(k int, avail float64) (float64, float64) {
 	}
 	filled := w / avail
 	if s.sys.Core.SpeedMax > 0 {
-		if filled > s.sys.Core.SpeedMax*(1+1e-9) {
+		if filled > s.sys.Core.SpeedMax*(1+relTol) {
 			return math.Inf(1), 0
 		}
 		// Clamp boundary noise so an optimum sitting exactly on the cap
@@ -202,7 +207,7 @@ func (s *solver) blockSolve(from, to int) Block {
 	}
 	bs, be, cost := numeric.MinimizeConvex2D(func(x, y float64) float64 {
 		return s.blockEnergy(from, to, x, y)
-	}, box, 1e-12)
+	}, box, relTol/1000)
 	return Block{From: from, To: to, BusyStart: bs, BusyEnd: be, Cost: cost}
 }
 
@@ -407,13 +412,12 @@ func ClassifyBlock(tasks task.Set, sys power.System) (*Classification, error) {
 		BusyStart: blk.BusyStart,
 		BusyEnd:   blk.BusyEnd,
 	}
-	const tol = 1e-9
 	for k, t := range s.tasks {
 		avail := math.Min(t.Deadline, blk.BusyEnd) - math.Max(t.Release, blk.BusyStart)
 		_, speed := s.coreEnergy(k, avail)
 		out.Speeds[k] = speed
 		exec := t.Workload / speed
-		if exec < avail*(1-tol) {
+		if exec < avail*(1-relTol) {
 			out.Types[k] = TypeI // shorter than its aligned span: runs at s₀
 		} else {
 			out.Types[k] = TypeII

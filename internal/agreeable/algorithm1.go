@@ -136,7 +136,7 @@ func algorithm1Pair(
 					return math.Inf(1)
 				}
 				speed := w[k] / length
-				if core.SpeedMax > 0 && speed > core.SpeedMax*(1+1e-9) {
+				if core.SpeedMax > 0 && speed > core.SpeedMax*(1+relTol) {
 					return math.Inf(1)
 				}
 				e += core.Dynamic(speed)*length + core.Static*length
@@ -165,7 +165,7 @@ func algorithm1Pair(
 			return frozen + mem.Static*frozenUnion(i, j, n, d1, w, s0, aligned, alignedStart)
 		}
 		var val float64
-		d1, d2, val = numeric.MinimizeConvex2D(objective(all), box, 1e-11)
+		d1, d2, val = numeric.MinimizeConvex2D(objective(all), box, relTol/100)
 		if math.IsInf(val, 1) {
 			return math.Inf(1)
 		}
@@ -203,11 +203,11 @@ func algorithm1Pair(
 		if !anyFast {
 			break
 		}
-		nd1, nd2, val := numeric.MinimizeConvex2D(objective(func(k int) bool { return fast[k] }), box, 1e-11)
+		nd1, nd2, val := numeric.MinimizeConvex2D(objective(func(k int) bool { return fast[k] }), box, relTol/100)
 		if math.IsInf(val, 1) {
 			break
 		}
-		if math.Abs(nd1-d1) < 1e-12 && math.Abs(nd2-d2) < 1e-12 {
+		if math.Abs(nd1-d1) < relTol/1000 && math.Abs(nd2-d2) < relTol/1000 {
 			break // converged at a boundary: Lemma 5's quit condition
 		}
 		d1, d2 = nd1, nd2
@@ -238,7 +238,7 @@ func algorithm1Pair(
 				return math.Inf(1)
 			}
 			speed := w[k] / length
-			if core.SpeedMax > 0 && speed > core.SpeedMax*(1+1e-9) {
+			if core.SpeedMax > 0 && speed > core.SpeedMax*(1+relTol) {
 				return math.Inf(1)
 			}
 			e += core.Dynamic(speed)*length + core.Static*length

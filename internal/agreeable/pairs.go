@@ -38,7 +38,7 @@ func BlockCostPairs(tasks task.Set, sys power.System) float64 {
 		if length <= 0 {
 			return math.Inf(1)
 		}
-		if sys.Core.SpeedMax > 0 && wk/length > sys.Core.SpeedMax*(1+1e-12) {
+		if sys.Core.SpeedMax > 0 && wk/length > sys.Core.SpeedMax*(1+relTol/1000) {
 			return math.Inf(1)
 		}
 		return beta * math.Pow(wk, lambda) * math.Pow(length, 1-lambda)
@@ -111,7 +111,7 @@ func BlockCostPairs(tasks task.Set, sys power.System) float64 {
 			}
 			_, _, v := numeric.MinimizeConvex2D(func(x, y float64) float64 {
 				return energy(i, j, x, y)
-			}, numeric.Box{X0: x0, X1: x1, Y0: y0, Y1: y1}, 1e-12)
+			}, numeric.Box{X0: x0, X1: x1, Y0: y0, Y1: y1}, relTol/1000)
 			if v < best {
 				best = v
 			}

@@ -135,6 +135,7 @@ func runCore(pool *sim.Pool, core int, assigned []task.Task, rule SpeedRule) err
 			continue
 		}
 		sort.SliceStable(queue, func(a, b int) bool {
+			//lint:allow floatcmp: sort tie-breaking must be exact to keep the comparator transitive
 			if queue[a].Task.Deadline != queue[b].Task.Deadline {
 				return queue[a].Task.Deadline < queue[b].Task.Deadline
 			}

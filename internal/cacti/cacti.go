@@ -13,6 +13,8 @@ package cacti
 import (
 	"fmt"
 	"math"
+
+	"sdem/internal/numeric"
 )
 
 // DRAM describes one main-memory configuration.
@@ -72,7 +74,7 @@ func (d DRAM) TransitionEnergy() float64 {
 // BreakEven returns ξ_m = transition energy / α_m in seconds.
 func (d DRAM) BreakEven() float64 {
 	am := d.StaticPower()
-	if am == 0 {
+	if numeric.IsZero(am, 0) {
 		return 0
 	}
 	return d.TransitionEnergy() / am

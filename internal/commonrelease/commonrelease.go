@@ -29,6 +29,10 @@ import (
 	"sdem/internal/task"
 )
 
+// relTol is the package's relative speed-feasibility tolerance; it matches
+// schedule.Tol (1e-9) by value.
+const relTol = 1e-9
+
 // Solution is an optimal common-release schedule plus its audit summary.
 type Solution struct {
 	// Schedule is the constructed schedule (horizon [r, r+d_max]).
@@ -84,7 +88,7 @@ func normalize(tasks task.Set, sys power.System, natural func(task.Task) float64
 	for _, t := range tasks {
 		t.Release -= release
 		t.Deadline -= release
-		if t.Workload == 0 {
+		if numeric.IsZero(t.Workload, 0) {
 			in.zeros = append(in.zeros, t)
 			continue
 		}
@@ -251,7 +255,7 @@ func SolveAlphaZero(tasks task.Set, sys power.System) (*Solution, error) {
 	if len(in.tasks) == 0 {
 		return in.empty(), nil
 	}
-	if in.sys.Memory.Static == 0 {
+	if numeric.IsZero(in.sys.Memory.Static, 0) {
 		// Without memory leakage each task independently prefers its
 		// filled speed; the busy length is the latest deadline.
 		return in.solution(in.c[len(in.c)-1], 1), nil
@@ -304,7 +308,7 @@ func Theorem2Scan(tasks task.Set, sys power.System) (int, float64, error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	if len(in.tasks) == 0 || in.sys.Memory.Static == 0 {
+	if len(in.tasks) == 0 || numeric.IsZero(in.sys.Memory.Static, 0) {
 		return 0, 0, errors.New("commonrelease: Theorem2Scan needs positive work and memory power")
 	}
 	cds := in.cases(0, false)
@@ -339,7 +343,7 @@ func BinarySearchScan(tasks task.Set, sys power.System) (int, float64, error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	if len(in.tasks) == 0 || in.sys.Memory.Static == 0 {
+	if len(in.tasks) == 0 || numeric.IsZero(in.sys.Memory.Static, 0) {
 		return 0, 0, errors.New("commonrelease: BinarySearchScan needs positive work and memory power")
 	}
 	cds := in.cases(0, false)

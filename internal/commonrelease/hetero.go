@@ -44,6 +44,7 @@ func SolveHetero(tasks task.Set, cores []power.Core, mem power.Memory) (*Solutio
 		if err := c.Validate(); err != nil {
 			return nil, fmt.Errorf("commonrelease: core %d: %w", i, err)
 		}
+		//lint:allow floatcmp: the heterogeneous closed form requires a literally common exponent λ
 		if c.Lambda != lambda {
 			return nil, fmt.Errorf("commonrelease: core %d has λ=%g, want the common %g", i, c.Lambda, lambda)
 		}
@@ -61,11 +62,11 @@ func SolveHetero(tasks task.Set, cores []power.Core, mem power.Memory) (*Solutio
 		t.Release -= release
 		t.Deadline -= release
 		horizon = math.Max(horizon, t.Deadline)
-		if t.Workload == 0 {
+		if numeric.IsZero(t.Workload, 0) {
 			continue
 		}
 		filled := t.FilledSpeed()
-		if cores[i].SpeedMax > 0 && filled > cores[i].SpeedMax*(1+1e-9) {
+		if cores[i].SpeedMax > 0 && filled > cores[i].SpeedMax*(1+relTol) {
 			return nil, fmt.Errorf("commonrelease: task %d infeasible on its core even at s_up", t.ID)
 		}
 		s0 := cores[i].CriticalSpeed(filled)

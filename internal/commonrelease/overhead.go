@@ -30,7 +30,7 @@ func SolveWithOverhead(tasks task.Set, sys power.System) (*Solution, error) {
 		horizon = math.Max(horizon, t.Deadline-t.Release)
 	}
 	natural := func(t task.Task) float64 {
-		if sys.Core.Static == 0 {
+		if numeric.IsZero(sys.Core.Static, 0) {
 			// A leak-free core never benefits from finishing early;
 			// stretching to the filled speed is individually optimal.
 			return t.FilledSpeed()
@@ -83,13 +83,13 @@ func SolveWithOverhead(tasks task.Set, sys power.System) (*Solution, error) {
 	}
 
 	bestL, bestE := in.c[n-1], eval(in.c[n-1])
-	lo := math.Max(capFor(in.c[0]), in.c[0]*1e-9)
+	lo := math.Max(capFor(in.c[0]), in.c[0]*relTol)
 	prev := lo
 	for _, p := range points {
 		if p <= prev+schedule.Tol {
 			continue
 		}
-		x, e := numeric.MinimizeConvex(eval, prev, p, 1e-12)
+		x, e := numeric.MinimizeConvex(eval, prev, p, numeric.DefaultTol)
 		if e < bestE {
 			bestL, bestE = x, e
 		}

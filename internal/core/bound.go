@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"sdem/internal/numeric"
 	"sdem/internal/power"
 	"sdem/internal/task"
 )
@@ -30,7 +31,7 @@ func LowerBound(tasks task.Set, sys power.System) float64 {
 	var coreLB float64
 	ivs := make([]window, 0, len(tasks))
 	for _, t := range tasks {
-		if t.Workload == 0 {
+		if numeric.IsZero(t.Workload, 0) {
 			continue
 		}
 		s := sys.Core.CriticalSpeed(t.FilledSpeed())

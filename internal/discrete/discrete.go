@@ -13,8 +13,13 @@ import (
 	"fmt"
 	"sort"
 
+	"sdem/internal/numeric"
 	"sdem/internal/schedule"
 )
+
+// relTol is the package's relative speed tolerance for ladder clamping;
+// it matches schedule.Tol (1e-9) by value.
+const relTol = 1e-9
 
 // Ladder is a sorted set of available DVS frequencies in Hz.
 type Ladder []float64
@@ -46,7 +51,7 @@ func (l Ladder) Validate() error {
 // level twice. ok is false when s exceeds the top level.
 func (l Ladder) Bracket(s float64) (lo, hi float64, ok bool) {
 	n := len(l)
-	if s > l[n-1]*(1+1e-9) {
+	if s > l[n-1]*(1+relTol) {
 		return 0, 0, false
 	}
 	if s >= l[n-1] {
@@ -56,7 +61,7 @@ func (l Ladder) Bracket(s float64) (lo, hi float64, ok bool) {
 		return l[0], l[0], true
 	}
 	i := sort.SearchFloat64s(l, s) // first level ≥ s
-	if l[i] == s {
+	if l[i] == s {                 //lint:allow floatcmp: ladder levels are exact catalogue values; an exact hit needs no rounding slack
 		return s, s, true
 	}
 	return l[i-1], l[i], true
@@ -85,10 +90,10 @@ func Quantize(s *schedule.Schedule, ladder Ladder) (*schedule.Schedule, error) {
 			dur := sg.End - sg.Start
 			work := sg.Speed * dur
 			switch {
-			case lo == hi && sg.Speed >= lo:
+			case lo == hi && sg.Speed >= lo: //lint:allow floatcmp: Bracket returns identical float values on exact hits
 				// Exact hit or top clamp: run as-is at the level.
 				out.Add(c, schedule.Segment{TaskID: sg.TaskID, Start: sg.Start, End: sg.End, Speed: sg.Speed})
-				if sg.Speed != lo {
+				if sg.Speed != lo { //lint:allow floatcmp: defensive bit-exactness check against Bracket's contract
 					// Defensive: Bracket guarantees sg.Speed == lo here.
 					out.Cores[c][len(out.Cores[c])-1].Speed = lo
 				}
@@ -128,7 +133,7 @@ func EnergyPenalty(s *schedule.Schedule, ladder Ladder, audit func(*schedule.Sch
 		return 0, err
 	}
 	base := audit(s)
-	if base == 0 {
+	if numeric.IsZero(base, 0) {
 		return 0, nil
 	}
 	return (audit(q) - base) / base, nil

@@ -9,10 +9,16 @@ import (
 	"fmt"
 	"io"
 
+	"sdem/internal/numeric"
 	"sdem/internal/power"
 	"sdem/internal/schedule"
 	"sdem/internal/task"
 )
+
+// auditTol is the relative disagreement allowed between a stored energy
+// breakdown and a fresh audit of the decoded schedule; it matches
+// schedule.Tol (1e-9) by value.
+const auditTol = 1e-9
 
 // Version is embedded in every document to keep future format changes
 // detectable.
@@ -127,7 +133,7 @@ func UnmarshalRun(data []byte) (Run, error) {
 	}
 	r.Schedule.Normalize()
 	fresh := schedule.Audit(r.Schedule, r.System)
-	if d := fresh.Total() - r.Breakdown.Total(); d > 1e-9*(1+fresh.Total()) || d < -1e-9*(1+fresh.Total()) {
+	if !numeric.AlmostEqual(fresh.Total(), r.Breakdown.Total(), auditTol) {
 		return Run{}, fmt.Errorf("encode: stored breakdown (%g J) disagrees with audit (%g J)",
 			r.Breakdown.Total(), fresh.Total())
 	}

@@ -14,6 +14,7 @@ import (
 
 	"sdem/internal/baseline"
 	"sdem/internal/cacti"
+	"sdem/internal/numeric"
 	"sdem/internal/online"
 	"sdem/internal/power"
 	"sdem/internal/sim"
@@ -68,7 +69,7 @@ func (c Config) withDefaults() Config {
 	if c.Cores == 0 {
 		c.Cores = 8
 	}
-	if c.CoreBreakEven == 0 {
+	if numeric.IsZero(c.CoreBreakEven, 0) {
 		c.CoreBreakEven = power.Milliseconds(1)
 	}
 	return c

@@ -31,7 +31,7 @@ type SwitchPoint struct {
 func (c Config) AblationSwitchOverhead() ([]SwitchPoint, error) {
 	c = c.withDefaults()
 	// Sweep from free switching to a deliberately punitive 1 mJ.
-	costs := []float64{0, 1e-6, 1e-5, 1e-4, 1e-3}
+	costs := []float64{0, 1e-6, 1e-5, 1e-4, 1e-3} //lint:allow tolconst: joule-valued switch-energy sweep points, not tolerances
 	var out []SwitchPoint
 	for _, cost := range costs {
 		sys := c.system(4, power.Milliseconds(40))

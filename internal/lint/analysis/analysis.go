@@ -1,0 +1,120 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary used by the sdemlint analyzers.
+//
+// The container this repo builds in has no module proxy access, so the
+// canonical x/tools framework cannot be vendored; this package keeps the
+// same core shapes (Analyzer, Pass, Diagnostic) so the analyzers read like
+// standard go/analysis code and could be ported to the real framework by
+// changing one import line.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow suppression comments.
+	Name string
+	// Doc is the one-paragraph help text shown by `sdemlint -help`.
+	Doc string
+	// Run applies the analyzer to a single package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is one finding, positioned inside the package being analyzed.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings reported so far, with //lint:allow
+// suppressions already filtered out.
+func (p *Pass) Diagnostics() []Diagnostic {
+	allowed := allowedLines(p.Fset, p.Files, p.Analyzer.Name)
+	var out []Diagnostic
+	for _, d := range p.diagnostics {
+		if allowed[lineKey{d.Pos.Filename, d.Pos.Line}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// allowRe matches suppression comments: //lint:allow <name>[,<name>...][: reason]
+var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+([a-zA-Z0-9_,\- ]+?)(?::.*)?$`)
+
+// allowedLines collects the set of (file, line) pairs on which findings of
+// the named analyzer are suppressed. A //lint:allow comment suppresses the
+// line it sits on; a comment alone on a line suppresses the line below it.
+func allowedLines(fset *token.FileSet, files []*ast.File, name string) map[lineKey]bool {
+	out := make(map[lineKey]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				match := false
+				for _, n := range strings.FieldsFunc(m[1], func(r rune) bool { return r == ',' || r == ' ' }) {
+					if n == name || n == "all" {
+						match = true
+						break
+					}
+				}
+				if !match {
+					continue
+				}
+				// Suppress the comment's own line (trailing-comment form)
+				// and the line below (standalone-comment form).
+				pos := fset.Position(c.Pos())
+				out[lineKey{pos.Filename, pos.Line}] = true
+				out[lineKey{pos.Filename, pos.Line + 1}] = true
+			}
+		}
+	}
+	return out
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,141 @@
+// Package auditcheck implements the sdemlint analyzer that keeps every
+// schedule handed across a package boundary normalized and auditable.
+//
+// The schedule package's contract is that Normalize (or a Validate that
+// implies it was called) runs before a Schedule is audited; an exported
+// solver entry point that returns a Schedule without either call can leak
+// unsorted or empty segments into the energy audit. The analyzer flags any
+// exported function whose results include a schedule.Schedule unless its
+// body calls Normalize/Validate or visibly delegates by returning another
+// schedule-producing call.
+package auditcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sdem/internal/lint/analysis"
+)
+
+// Analyzer is the auditcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "auditcheck",
+	Doc: "flags exported functions returning a schedule.Schedule whose body " +
+		"neither calls Normalize/Validate nor delegates to another " +
+		"schedule-returning call",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			if !returnsSchedule(pass, fn) {
+				continue
+			}
+			if callsNormalizeOrValidate(fn.Body) || delegatesSchedule(pass, fn.Body) {
+				continue
+			}
+			pass.Reportf(fn.Name.Pos(), "exported %s returns a schedule.Schedule but never calls Normalize or Validate; normalize before handing the schedule out, or delegate to a schedule-returning call", fn.Name.Name)
+		}
+	}
+	return nil
+}
+
+// isScheduleType reports whether t is schedule.Schedule or *schedule.Schedule
+// (matched by type name and package basename, so fixtures can model the
+// contract with a local schedule package).
+func isScheduleType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Name() != "Schedule" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "schedule" || strings.HasSuffix(path, "/schedule")
+}
+
+// returnsSchedule reports whether any declared result of fn is a Schedule.
+func returnsSchedule(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	for _, field := range fn.Type.Results.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if ok && tv.Type != nil && isScheduleType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// callsNormalizeOrValidate reports whether the body contains a call whose
+// method name is Normalize or Validate (on any receiver — the schedule
+// itself, or a Solution wrapper that forwards).
+func callsNormalizeOrValidate(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Normalize" || sel.Sel.Name == "Validate" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// delegatesSchedule reports whether some return statement hands back the
+// result of another call that produces a Schedule, moving the
+// normalization obligation to the callee.
+func delegatesSchedule(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			call, ok := ast.Unparen(res).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			tv, ok := pass.TypesInfo.Types[call]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			switch t := tv.Type.(type) {
+			case *types.Tuple:
+				for i := 0; i < t.Len(); i++ {
+					if isScheduleType(t.At(i).Type()) {
+						found = true
+					}
+				}
+			default:
+				if isScheduleType(t) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

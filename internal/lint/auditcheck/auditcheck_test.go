@@ -1,0 +1,12 @@
+package auditcheck_test
+
+import (
+	"testing"
+
+	"sdem/internal/lint/analysistest"
+	"sdem/internal/lint/auditcheck"
+)
+
+func TestAuditcheck(t *testing.T) {
+	analysistest.Run(t, ".", auditcheck.Analyzer, "auditcheck")
+}

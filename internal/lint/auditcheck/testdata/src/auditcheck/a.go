@@ -1,0 +1,48 @@
+package auditcheck
+
+import "schedule"
+
+func Bad() *schedule.Schedule { // want "exported Bad returns a schedule.Schedule but never calls Normalize or Validate"
+	return &schedule.Schedule{}
+}
+
+func BadValue() (schedule.Schedule, bool) { // want "exported BadValue returns a schedule.Schedule but never calls Normalize or Validate"
+	return schedule.Schedule{}, true
+}
+
+func GoodNormalize() *schedule.Schedule {
+	s := &schedule.Schedule{}
+	s.Normalize()
+	return s
+}
+
+func GoodValidate() (*schedule.Schedule, error) {
+	s := &schedule.Schedule{}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func GoodDelegates() *schedule.Schedule {
+	return GoodNormalize()
+}
+
+func GoodDelegatesTuple() (*schedule.Schedule, error) {
+	return GoodValidate()
+}
+
+// unexported builders are construction helpers, not package boundaries.
+func internalBuilder() *schedule.Schedule {
+	return &schedule.Schedule{}
+}
+
+func AllowedEmpty() *schedule.Schedule { //lint:allow auditcheck: constructor returns an empty schedule
+	return &schedule.Schedule{}
+}
+
+// NotSchedule returns something else entirely; out of scope.
+func NotSchedule() int {
+	_ = internalBuilder()
+	return 0
+}

@@ -1,0 +1,16 @@
+// Package schedule is a fixture stand-in for sdem/internal/schedule: the
+// auditcheck analyzer matches the Schedule type by name and package
+// basename so the contract can be modelled without importing the real
+// module into testdata.
+package schedule
+
+// Schedule mimics the real schedule IR.
+type Schedule struct {
+	segs []int
+}
+
+// Normalize mimics the real normalization pass.
+func (s *Schedule) Normalize() {}
+
+// Validate mimics the real validation pass.
+func (s *Schedule) Validate() error { return nil }

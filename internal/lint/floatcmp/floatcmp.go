@@ -1,0 +1,100 @@
+// Package floatcmp implements the sdemlint analyzer that forbids exact
+// `==`/`!=` (and switch-case) comparisons between floating-point
+// expressions in non-test code.
+//
+// Every SDEM solver decides case boundaries by comparing accumulated
+// float64 seconds, hertz and joules; an exact comparison silently turns a
+// rounding ulp into a different schedule. Comparisons must flow through
+// numeric.IsZero / numeric.ApproxEqual (or numeric.AlmostEqual) with an
+// explicit tolerance, or carry a //lint:allow floatcmp comment explaining
+// why bit equality is intended.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sdem/internal/lint/analysis"
+)
+
+// Analyzer is the floatcmp pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc: "flags exact ==/!= and switch-case comparisons between floating-point " +
+		"expressions; use numeric.IsZero/numeric.ApproxEqual with an explicit " +
+		"tolerance, or suppress with //lint:allow floatcmp when bit equality is intended",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if !isFloat(pass, n.X) || !isFloat(pass, n.Y) {
+					return true
+				}
+				if bothConstant(pass, n.X, n.Y) {
+					return true
+				}
+				if isInfCall(n.X) || isInfCall(n.Y) {
+					// Comparing against math.Inf is exact by construction;
+					// rounding cannot produce a spurious infinity ulp.
+					return true
+				}
+				pass.Reportf(n.OpPos, "exact %s comparison of floating-point values; use numeric.IsZero or numeric.ApproxEqual with an explicit tolerance", n.Op)
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isFloat(pass, n.Tag) {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok || len(cc.List) == 0 {
+						continue
+					}
+					pass.Reportf(cc.Case, "switch-case on a floating-point value compares exactly; restructure with numeric.ApproxEqual guards")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloat reports whether the expression has floating-point type.
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// bothConstant reports whether both operands are compile-time constants
+// (a constant comparison is decided by the compiler, not by runtime
+// rounding, so it is out of scope).
+func bothConstant(pass *analysis.Pass, x, y ast.Expr) bool {
+	return pass.TypesInfo.Types[x].Value != nil && pass.TypesInfo.Types[y].Value != nil
+}
+
+// isInfCall reports whether e is a call to math.Inf.
+func isInfCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "math" && sel.Sel.Name == "Inf"
+}

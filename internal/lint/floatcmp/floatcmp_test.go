@@ -1,0 +1,12 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"sdem/internal/lint/analysistest"
+	"sdem/internal/lint/floatcmp"
+)
+
+func TestFloatcmp(t *testing.T) {
+	analysistest.Run(t, ".", floatcmp.Analyzer, "floatcmp")
+}

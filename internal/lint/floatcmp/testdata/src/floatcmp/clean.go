@@ -1,0 +1,31 @@
+package floatcmp
+
+import "math"
+
+const phi = 1.618
+
+// Clean: nothing in this file may be reported.
+
+func cleanInt(n, m int) bool { return n == m }
+
+func cleanOrdered(a, b float64) bool { return a < b || a >= b }
+
+func cleanInf(a float64) bool { return a == math.Inf(1) }
+
+func cleanConst() bool { return phi == 1.618 }
+
+func cleanSuppressed(a, b float64) bool {
+	return a == b //lint:allow floatcmp: bit-exact sentinel comparison under test
+}
+
+func cleanSuppressedAbove(a, b float64) bool {
+	//lint:allow floatcmp: standalone-comment suppression form
+	return a != b
+}
+
+func cleanDefaultSwitch(x float64) int {
+	switch x { // tag-only switch with just a default clause is fine
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,64 @@
+// Package lint wires the sdemlint analyzers to the package loader: it runs
+// every analyzer over every requested package and collects the surviving
+// (non-suppressed) diagnostics in a stable order.
+package lint
+
+import (
+	"sort"
+
+	"sdem/internal/lint/analysis"
+	"sdem/internal/lint/auditcheck"
+	"sdem/internal/lint/floatcmp"
+	"sdem/internal/lint/load"
+	"sdem/internal/lint/tolconst"
+	"sdem/internal/lint/unitcheck"
+)
+
+// Analyzers returns the full sdemlint suite in display order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		floatcmp.Analyzer,
+		tolconst.Analyzer,
+		unitcheck.Analyzer,
+		auditcheck.Analyzer,
+	}
+}
+
+// Run loads the packages matching patterns under dir and applies the given
+// analyzers, returning all findings sorted by position then analyzer name.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	pkgs, err := load.Packages(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+			diags = append(diags, pass.Diagnostics()...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"sdem/internal/lint"
+)
+
+// TestRunCleanPackage smoke-tests the go list loader and runner end to end
+// on a package that must stay lint-clean (the framework itself).
+func TestRunCleanPackage(t *testing.T) {
+	diags, err := lint.Run(".", []string{"sdem/internal/lint/analysis"}, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}

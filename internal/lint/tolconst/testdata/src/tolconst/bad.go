@@ -1,0 +1,16 @@
+package tolconst
+
+func badComparison(x float64) bool {
+	return x < 1e-9 // want "inline tolerance literal 1e-9"
+}
+
+func badLocal() float64 {
+	eps := 1e-12 // want "inline tolerance literal 1e-12"
+	return eps
+}
+
+func badArgument(x float64) bool {
+	return almost(x, 0.000001) // want "inline tolerance literal 0.000001"
+}
+
+func almost(a, tol float64) bool { return a < tol && a > -tol }

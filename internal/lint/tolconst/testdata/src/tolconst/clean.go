@@ -1,0 +1,28 @@
+package tolconst
+
+// tol is this package's named tolerance constant: allowed, and the fix
+// tolconst steers violations towards.
+const tol = 1e-9
+
+const (
+	tolTight = 1e-12
+	scale    = 2.5
+)
+
+func cleanNamed(x float64) bool { return x < tol }
+
+func cleanDerived(x float64) bool { return x < tol/100 }
+
+func cleanLocalConst(x float64) bool {
+	const local = 1e-12
+	return x < local
+}
+
+func cleanOutOfRange(x float64) bool {
+	// Neither an exact power of ten in 1e-6…1e-15 nor a tolerance: ignored.
+	return x < 5e-7 || x > 1e-5 || x < 1e-16 || x == 0.25
+}
+
+func cleanSuppressed(x float64) bool {
+	return x < 1e-9 //lint:allow tolconst: suppression under test
+}

@@ -1,0 +1,94 @@
+// Package tolconst implements the sdemlint analyzer that forbids inline
+// tolerance literals (exact powers of ten from 1e-6 down to 1e-15) outside
+// named constant declarations in non-test code.
+//
+// Scattered ad-hoc epsilons drift apart and hide which tolerance a
+// comparison is actually calibrated against. Each package gets one named,
+// documented tolerance constant (traceable to schedule.Tol or
+// numeric.DefaultTol); derived scales are written as expressions over that
+// constant, not as fresh literals.
+package tolconst
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strconv"
+
+	"sdem/internal/lint/analysis"
+)
+
+// Analyzer is the tolconst pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "tolconst",
+	Doc: "flags inline tolerance literals (1e-6 … 1e-15) outside named constant " +
+		"declarations; hoist them onto a documented package tolerance constant " +
+		"traceable to schedule.Tol",
+	Run: run,
+}
+
+// tolValues holds the exact float64 values of 1e-6 … 1e-15, built with
+// strconv so the analyzer matches literals bit-for-bit without carrying
+// tolerance literals of its own.
+var tolValues = func() map[float64]string {
+	m := make(map[float64]string, 10)
+	for k := 6; k <= 15; k++ {
+		s := fmt.Sprintf("1e-%d", k)
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			panic(err)
+		}
+		m[v] = s
+	}
+	return m
+}()
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		// Literals inside const declarations are the fix, not the hazard.
+		var constRanges [][2]token.Pos
+		for _, decl := range f.Decls {
+			if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.CONST {
+				constRanges = append(constRanges, [2]token.Pos{gd.Pos(), gd.End()})
+			}
+		}
+		inConst := func(pos token.Pos) bool {
+			for _, r := range constRanges {
+				if pos >= r[0] && pos <= r[1] {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GenDecl:
+				if n.Tok == token.CONST {
+					// Local const blocks inside function bodies also count
+					// as named-constant declarations.
+					constRanges = append(constRanges, [2]token.Pos{n.Pos(), n.End()})
+				}
+			case *ast.BasicLit:
+				if n.Kind != token.FLOAT {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[n]
+				if !ok || tv.Value == nil {
+					return true
+				}
+				v, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+				canon, isTol := tolValues[v]
+				if !isTol || inConst(n.Pos()) {
+					return true
+				}
+				pass.Reportf(n.Pos(), "inline tolerance literal %s (= %s); hoist it onto the package's named tolerance constant documented against schedule.Tol", n.Value, canon)
+			}
+			return true
+		})
+	}
+	return nil
+}

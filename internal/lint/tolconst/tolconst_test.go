@@ -1,0 +1,12 @@
+package tolconst_test
+
+import (
+	"testing"
+
+	"sdem/internal/lint/analysistest"
+	"sdem/internal/lint/tolconst"
+)
+
+func TestTolconst(t *testing.T) {
+	analysistest.Run(t, ".", tolconst.Analyzer, "tolconst")
+}

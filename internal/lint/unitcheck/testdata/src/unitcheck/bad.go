@@ -1,0 +1,16 @@
+package unitcheck
+
+func bad() Core {
+	c := Core{SpeedMax: 1900} // want "untyped literal for speed/frequency field SpeedMax"
+	c.SpeedMin = 700          // want "untyped literal assigned to speed/frequency field SpeedMin"
+	SetSpeed(2.5e9)           // want "untyped literal passed as speed/frequency parameter speed"
+	return c
+}
+
+func badPositional() Core {
+	return Core{1900, 0, 3} // want "untyped literal for speed/frequency field SpeedMax"
+}
+
+func badNegative() {
+	SetSpeed(-1.5) // want "untyped literal passed as speed/frequency parameter speed"
+}

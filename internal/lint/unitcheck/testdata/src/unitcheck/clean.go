@@ -1,0 +1,30 @@
+package unitcheck
+
+// Core mimics power.Core's speed fields.
+type Core struct {
+	SpeedMax float64
+	SpeedMin float64
+	Count    int
+}
+
+// MHz mimics power.MHz.
+func MHz(f float64) float64 { return f * 1e6 }
+
+// SetSpeed has a speed-named parameter unitcheck guards.
+func SetSpeed(speed float64) {}
+
+const baseSpeedHz = 1.9e9
+
+func clean() Core {
+	c := Core{SpeedMax: MHz(1900), SpeedMin: baseSpeedHz, Count: 3}
+	c.SpeedMax = 0 // zero is the documented unset/unbounded sentinel
+	c.Count = 8    // non-speed field: literals fine
+	SetSpeed(MHz(700))
+	SetSpeed(baseSpeedHz)
+	SetSpeed(0)
+	return c
+}
+
+func cleanSuppressed() {
+	SetSpeed(1.9e9) //lint:allow unitcheck: raw hertz literal under test
+}

@@ -1,0 +1,158 @@
+// Package unitcheck implements the sdemlint analyzer that forbids raw
+// numeric literals flowing into speed/frequency slots.
+//
+// The power model is SI throughout (hertz, seconds, watts); the paper's
+// tables speak MHz. A bare `1900` assigned to a SpeedMax field compiles
+// silently and is wrong by six orders of magnitude. Literals must pass
+// through power.MHz / power.GHz (or a named constant that did), so the
+// unit conversion is visible at the assignment site.
+package unitcheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+
+	"sdem/internal/lint/analysis"
+)
+
+// Analyzer is the unitcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitcheck",
+	Doc: "flags untyped numeric literals assigned to speed/frequency fields or " +
+		"passed as speed/frequency arguments; route them through power.MHz/power.GHz " +
+		"or a named constant",
+	Run: run,
+}
+
+// hzName matches identifiers that denote a speed or frequency in hertz.
+var hzName = regexp.MustCompile(`(?i)(speed|freq|hertz|hz)`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkCompositeLit(pass, n)
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok || !hzName.MatchString(sel.Sel.Name) {
+						continue
+					}
+					if isFloat64(pass, lhs) && isBareNonzeroLiteral(pass, n.Rhs[i]) {
+						pass.Reportf(n.Rhs[i].Pos(), "untyped literal assigned to speed/frequency field %s; use power.MHz/power.GHz or a named constant", sel.Sel.Name)
+					}
+				}
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCompositeLit flags literal values for speed/frequency struct fields,
+// in both keyed and positional form.
+func checkCompositeLit(pass *analysis.Pass, cl *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[cl]
+	if !ok || tv.Type == nil {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range cl.Elts {
+		var field *types.Var
+		var value ast.Expr
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			for j := 0; j < st.NumFields(); j++ {
+				if st.Field(j).Name() == key.Name {
+					field = st.Field(j)
+					break
+				}
+			}
+			value = kv.Value
+		} else if i < st.NumFields() {
+			field = st.Field(i)
+			value = elt
+		}
+		if field == nil || !hzName.MatchString(field.Name()) || !isFloat64Type(field.Type()) {
+			continue
+		}
+		if isBareNonzeroLiteral(pass, value) {
+			pass.Reportf(value.Pos(), "untyped literal for speed/frequency field %s; use power.MHz/power.GHz or a named constant", field.Name())
+		}
+	}
+}
+
+// checkCall flags literal arguments bound to speed/frequency-named
+// parameters of the callee.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		idx := i
+		if sig.Variadic() && idx >= params.Len()-1 {
+			idx = params.Len() - 1
+		}
+		if idx >= params.Len() {
+			break
+		}
+		p := params.At(idx)
+		if !hzName.MatchString(p.Name()) || !isFloat64Type(p.Type()) {
+			continue
+		}
+		if isBareNonzeroLiteral(pass, arg) {
+			pass.Reportf(arg.Pos(), "untyped literal passed as speed/frequency parameter %s; use power.MHz/power.GHz or a named constant", p.Name())
+		}
+	}
+}
+
+// isBareNonzeroLiteral reports whether e is a plain numeric literal (or its
+// negation) other than zero. Zero is the documented "unset/unbounded"
+// sentinel on every speed field, so it stays legal.
+func isBareNonzeroLiteral(pass *analysis.Pass, e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		tv := pass.TypesInfo.Types[v]
+		if tv.Value == nil {
+			return false
+		}
+		f, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+		return f != 0 //lint:allow floatcmp: literal zero is bit-exact by construction
+	case *ast.UnaryExpr:
+		return isBareNonzeroLiteral(pass, v.X)
+	}
+	return false
+}
+
+func isFloat64(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Type != nil && isFloat64Type(tv.Type)
+}
+
+func isFloat64Type(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -97,7 +97,9 @@ func (b Box) Valid() bool { return b.X0 <= b.X1 && b.Y0 <= b.Y1 }
 // exact up to tolerance. Returns the argmin pair and the value.
 func MinimizeConvex2D(f func(x, y float64) float64, b Box, tol float64) (x, y, fxy float64) {
 	if tol <= 0 {
-		tol = 1e-10
+		// Nested golden-section loses ~2 digits over the 1-D search, so the
+		// default is two decades looser than DefaultTol.
+		tol = 100 * DefaultTol
 	}
 	inner := func(x float64) (float64, float64) {
 		return MinimizeConvex(func(yy float64) float64 { return f(x, yy) }, b.Y0, b.Y1, tol)
@@ -120,10 +122,10 @@ func Bisect(f func(float64) float64, lo, hi, tol float64) (root float64, ok bool
 		tol = DefaultTol
 	}
 	flo, fhi := f(lo), f(hi)
-	if flo == 0 {
+	if flo == 0 { //lint:allow floatcmp: an exact root short-circuits bracketing; near-roots converge normally
 		return lo, true
 	}
-	if fhi == 0 {
+	if fhi == 0 { //lint:allow floatcmp: see above
 		return hi, true
 	}
 	if math.Signbit(flo) == math.Signbit(fhi) {
@@ -133,7 +135,7 @@ func Bisect(f func(float64) float64, lo, hi, tol float64) (root float64, ok bool
 	for i := 0; i < 200 && hi-lo > eps; i++ {
 		mid := lo + (hi-lo)/2
 		fm := f(mid)
-		if fm == 0 {
+		if fm == 0 { //lint:allow floatcmp: an exact root ends bisection early; no rounding hazard
 			return mid, true
 		}
 		if math.Signbit(fm) == math.Signbit(flo) {
@@ -159,12 +161,52 @@ func Clamp(v, lo, hi float64) float64 {
 // AlmostEqual reports whether a and b agree to within a relative tolerance
 // tol (absolute for magnitudes below 1).
 func AlmostEqual(a, b, tol float64) bool {
-	if a == b {
+	if a == b { //lint:allow floatcmp: bit-exact fast path of the comparison helper itself
 		return true
 	}
 	diff := math.Abs(a - b)
 	scale := math.Max(math.Abs(a), math.Abs(b))
 	return diff <= tol*math.Max(scale, 1)
+}
+
+// ApproxEqual reports whether a and b agree to within tolerance tol,
+// interpreted relatively for magnitudes above 1 and absolutely below
+// (the same hybrid rule as AlmostEqual). It is the comparison the
+// floatcmp analyzer steers `==`/`!=` on physical quantities towards.
+//
+// Edge cases follow IEEE-754 intuition rather than bit equality:
+// NaN compares unequal to everything including itself; equal-signed
+// infinities compare equal; opposite-signed or mixed finite/infinite
+// operands compare unequal regardless of tol; denormals compare via
+// the absolute branch, so two denormals are equal under any tol ≥ 0
+// larger than their difference. A tol <= 0 falls back to DefaultTol.
+func ApproxEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b //lint:allow floatcmp: infinities carry no rounding error
+	}
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	return AlmostEqual(a, b, tol)
+}
+
+// IsZero reports whether v is zero to within the absolute tolerance tol.
+// A tol of exactly 0 requires bit-exact zero (±0), which is the right
+// test for "field left at its zero value" sentinels; physical
+// quantities accumulated through arithmetic should pass an explicit
+// tolerance such as schedule.Tol. NaN is never zero. A negative tol
+// falls back to DefaultTol.
+func IsZero(v, tol float64) bool {
+	if math.IsNaN(v) {
+		return false
+	}
+	if tol < 0 {
+		tol = DefaultTol
+	}
+	return math.Abs(v) <= tol
 }
 
 // SumPow returns Σ w_i^λ for the given workloads. Negative workloads are
@@ -187,10 +229,10 @@ func Brent(f func(float64) float64, lo, hi, tol float64) (root float64, ok bool)
 	}
 	a, b := lo, hi
 	fa, fb := f(a), f(b)
-	if fa == 0 {
+	if fa == 0 { //lint:allow floatcmp: an exact root short-circuits bracketing; near-roots converge normally
 		return a, true
 	}
-	if fb == 0 {
+	if fb == 0 { //lint:allow floatcmp: see above
 		return b, true
 	}
 	if math.Signbit(fa) == math.Signbit(fb) {
@@ -203,9 +245,10 @@ func Brent(f func(float64) float64, lo, hi, tol float64) (root float64, ok bool)
 	mflag := true
 	var d float64
 	eps := tol * math.Max(1, math.Max(math.Abs(lo), math.Abs(hi)))
+	//lint:allow floatcmp: Brent's termination and interpolation-degeneracy guards are exact by construction
 	for i := 0; i < 200 && fb != 0 && math.Abs(b-a) > eps; i++ {
 		var s float64
-		if fa != fc && fb != fc {
+		if fa != fc && fb != fc { //lint:allow floatcmp: inverse quadratic interpolation divides by these differences; the guard must be exact
 			// Inverse quadratic interpolation.
 			s = a*fb*fc/((fa-fb)*(fa-fc)) +
 				b*fa*fc/((fb-fa)*(fb-fc)) +

@@ -244,3 +244,74 @@ func TestPropertyBrentMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestApproxEqual(t *testing.T) {
+	inf := math.Inf(1)
+	nan := math.NaN()
+	denorm := math.SmallestNonzeroFloat64 // 4.9e-324, denormal
+	cases := []struct {
+		name      string
+		a, b, tol float64
+		want      bool
+	}{
+		{"identical", 1.5, 1.5, 1e-9, true},
+		{"within relative tol", 1e12, 1e12 * (1 + 1e-10), 1e-9, true},
+		{"outside relative tol", 1e12, 1e12 * (1 + 1e-6), 1e-9, false},
+		{"within absolute tol below 1", 1e-15, 2e-15, 1e-9, true},
+		{"sign difference", 1e-3, -1e-3, 1e-9, false},
+		{"nan left", nan, 0, 1e-9, false},
+		{"nan right", 0, nan, 1e-9, false},
+		{"nan both", nan, nan, 1e-9, false},
+		{"inf equal sign", inf, inf, 1e-9, true},
+		{"inf opposite sign", inf, -inf, 1e-9, false},
+		{"neg inf equal", -inf, -inf, 1e-9, true},
+		{"inf vs finite", inf, 1e308, 1e-9, false},
+		{"finite vs neg inf", -1e308, -inf, 1e-9, false},
+		{"denormal pair", denorm, 2 * denorm, 1e-12, true},
+		{"denormal vs zero", denorm, 0, 1e-12, true},
+		{"zero tol falls back to default", 1, 1 + 1e-13, 0, true},
+		{"negative zero vs zero", math.Copysign(0, -1), 0, 1e-12, true},
+	}
+	for _, tc := range cases {
+		if got := ApproxEqual(tc.a, tc.b, tc.tol); got != tc.want {
+			t.Errorf("%s: ApproxEqual(%g, %g, %g) = %v, want %v", tc.name, tc.a, tc.b, tc.tol, got, tc.want)
+		}
+	}
+}
+
+func TestApproxEqualSymmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		return ApproxEqual(a, b, 1e-9) == ApproxEqual(b, a, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	denorm := math.SmallestNonzeroFloat64
+	cases := []struct {
+		name   string
+		v, tol float64
+		want   bool
+	}{
+		{"exact zero exact tol", 0, 0, true},
+		{"negative zero exact tol", math.Copysign(0, -1), 0, true},
+		{"denormal exact tol", denorm, 0, false},
+		{"denormal loose tol", denorm, 1e-12, true},
+		{"within tol", 5e-10, 1e-9, true},
+		{"at tol boundary", 1e-9, 1e-9, true},
+		{"outside tol", 2e-9, 1e-9, false},
+		{"negative within tol", -5e-10, 1e-9, true},
+		{"nan never zero", math.NaN(), 1e-9, false},
+		{"nan never zero exact", math.NaN(), 0, false},
+		{"inf never zero", math.Inf(1), 1e-9, false},
+		{"negative tol falls back to default", 1e-13, -1, true},
+		{"negative tol default rejects large", 1e-3, -1, false},
+	}
+	for _, tc := range cases {
+		if got := IsZero(tc.v, tc.tol); got != tc.want {
+			t.Errorf("%s: IsZero(%g, %g) = %v, want %v", tc.name, tc.v, tc.tol, got, tc.want)
+		}
+	}
+}

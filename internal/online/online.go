@@ -166,6 +166,7 @@ func effectiveMax(sys power.System) float64 {
 // EDF-ordered, waiting for cores when oversubscribed.
 func execute(pool *sim.Pool, busyUntil []float64, plans []plan, wake, next float64) error {
 	sort.SliceStable(plans, func(a, b int) bool {
+		//lint:allow floatcmp: sort tie-breaking must be exact to keep the comparator transitive
 		if plans[a].job.Task.Deadline != plans[b].job.Task.Deadline {
 			return plans[a].job.Task.Deadline < plans[b].job.Task.Deadline
 		}

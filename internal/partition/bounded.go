@@ -70,14 +70,14 @@ func SolveGeneralDeadlines(tasks task.Set, sys power.System) (*Result, error) {
 		return d
 	}
 	for _, t := range sorted {
-		if t.Workload == 0 {
+		if numeric.IsZero(t.Workload, 0) {
 			continue
 		}
 		best := -1
 		bestDensity := math.Inf(1)
 		for i := range cores {
 			d := densityWith(&cores[i], t)
-			if sup > 0 && d > sup*(1+1e-9) {
+			if sup > 0 && d > sup*(1+relTol) {
 				continue // would blow the deadline even at s_up
 			}
 			if d < bestDensity {
@@ -98,7 +98,7 @@ func SolveGeneralDeadlines(tasks task.Set, sys power.System) (*Result, error) {
 	for i := range cores {
 		maxLoad = math.Max(maxLoad, cores[i].load)
 	}
-	if maxLoad == 0 {
+	if numeric.IsZero(maxLoad, 0) {
 		s := schedule.New(sys.Cores, release, release+horizon)
 		return &Result{Schedule: s, Energy: schedule.Audit(s, sys).Total()}, nil
 	}
@@ -106,7 +106,7 @@ func SolveGeneralDeadlines(tasks task.Set, sys power.System) (*Result, error) {
 		s := schedule.New(sys.Cores, release, release+horizon)
 		for ci := range cores {
 			c := &cores[ci]
-			if c.load == 0 {
+			if numeric.IsZero(c.load, 0) {
 				continue
 			}
 			speed := math.Max(c.load/L, c.density)
@@ -129,7 +129,7 @@ func SolveGeneralDeadlines(tasks task.Set, sys power.System) (*Result, error) {
 		}
 		return schedule.Audit(build(L), sys).Total()
 	}
-	lmin := horizon * 1e-6
+	lmin := horizon * searchFloor
 	if sup > 0 {
 		lmin = math.Max(lmin, maxLoad/sup)
 	}
@@ -155,7 +155,7 @@ func SolveGeneralDeadlines(tasks task.Set, sys power.System) (*Result, error) {
 		if p <= prev+schedule.Tol {
 			continue
 		}
-		if x, e := numeric.MinimizeConvex(eval, prev, p, 1e-10); e < bestE {
+		if x, e := numeric.MinimizeConvex(eval, prev, p, relTol/10); e < bestE {
 			bestL, bestE = x, e
 		}
 		prev = p

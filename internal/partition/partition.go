@@ -19,10 +19,21 @@ import (
 	"math"
 	"sort"
 
+	"sdem/internal/numeric"
 	"sdem/internal/power"
 	"sdem/internal/schedule"
 	"sdem/internal/task"
 )
+
+// relTol is the package's relative feasibility tolerance for speed-cap and
+// deadline checks. It matches schedule.Tol (1e-9) by value; stated here so
+// every partition-side comparison shares one knob.
+const relTol = 1e-9
+
+// searchFloor scales the smallest busy length the L-search will bracket,
+// as a fraction of the horizon. It is a search-bracket floor, not a
+// comparison tolerance.
+const searchFloor = 1e-6
 
 // Assignment maps each task index to a core.
 type Assignment []int
@@ -61,7 +72,7 @@ func OptimalBusyLength(sums []float64, sys power.System, deadline float64) (floa
 		sumPow += math.Pow(w, core.Lambda)
 		maxW = math.Max(maxW, w)
 	}
-	if sumPow == 0 {
+	if numeric.IsZero(sumPow, 0) {
 		return 0, nil
 	}
 	denom := float64(used)*core.Static + mem.Static
@@ -76,7 +87,7 @@ func OptimalBusyLength(sums []float64, sys power.System, deadline float64) (floa
 	}
 	if core.SpeedMax > 0 {
 		lmin := maxW / core.SpeedMax
-		if lmin > deadline*(1+1e-9) {
+		if lmin > deadline*(1+relTol) {
 			return 0, errors.New("partition: infeasible even at s_up")
 		}
 		L = math.Max(L, math.Min(lmin, deadline))
@@ -234,7 +245,7 @@ func Solve(tasks task.Set, sys power.System, exact bool) (*Result, error) {
 	s := schedule.New(sys.Cores, release, tasks[0].Deadline)
 	cursor := make([]float64, sys.Cores)
 	for i, t := range tasks {
-		if t.Workload == 0 {
+		if numeric.IsZero(t.Workload, 0) {
 			continue
 		}
 		c := asg[i]

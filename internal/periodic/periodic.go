@@ -14,6 +14,15 @@ import (
 	"sdem/internal/task"
 )
 
+// relTol is the package's relative feasibility tolerance for speed and
+// utilization checks; it matches schedule.Tol (1e-9) by value.
+const relTol = 1e-9
+
+// defaultResolution is the period-quantization step (seconds) used by
+// Hyperperiod when the caller passes none: 1 µs keeps LCMs meaningful for
+// millisecond-scale periods. A quantization step, not a tolerance.
+const defaultResolution = 1e-6
+
 // Stream is one periodic (or sporadic) task stream.
 type Stream struct {
 	// ID identifies the stream; job IDs are derived from it.
@@ -104,7 +113,7 @@ func (ss System) Hyperperiod(resolution float64) float64 {
 		return 0
 	}
 	if resolution <= 0 {
-		resolution = 1e-6
+		resolution = defaultResolution
 	}
 	lcm := int64(1)
 	for _, s := range ss {
@@ -173,9 +182,9 @@ func (ss System) FeasibleOnCores(cores int, speedMax float64) bool {
 		return true
 	}
 	for _, s := range ss {
-		if s.Workload/s.window() > speedMax*(1+1e-9) {
+		if s.Workload/s.window() > speedMax*(1+relTol) {
 			return false
 		}
 	}
-	return ss.Utilization(speedMax) <= float64(cores)*(1+1e-9)
+	return ss.Utilization(speedMax) <= float64(cores)*(1+relTol)
 }

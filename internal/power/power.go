@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"sdem/internal/numeric"
 )
 
 // Core describes one homogeneous DVS core.
@@ -73,6 +75,9 @@ type System struct {
 
 // MHz converts a frequency given in MHz to Hz.
 func MHz(f float64) float64 { return f * 1e6 }
+
+// GHz converts a frequency given in GHz to Hz.
+func GHz(f float64) float64 { return f * 1e9 }
 
 // Milliseconds converts a duration given in ms to seconds.
 func Milliseconds(t float64) float64 { return t * 1e-3 }
@@ -134,7 +139,7 @@ func (c Core) Power(s float64) float64 { return c.Static + c.Dynamic(s) }
 // EnergyFor returns the energy to execute w cycles at constant speed s:
 // (α + β·s^λ)·w/s. It returns +Inf for non-positive s and w > 0.
 func (c Core) EnergyFor(w, s float64) float64 {
-	if w == 0 {
+	if numeric.IsZero(w, 0) {
 		return 0
 	}
 	if s <= 0 {
@@ -147,7 +152,7 @@ func (c Core) EnergyFor(w, s float64) float64 {
 // minimizer of per-cycle core energy (α + β·s^λ)/s. It is zero when the
 // core has no static power.
 func (c Core) CriticalSpeedRaw() float64 {
-	if c.Static == 0 {
+	if numeric.IsZero(c.Static, 0) {
 		return 0
 	}
 	return math.Pow(c.Static/(c.Beta*(c.Lambda-1)), 1/c.Lambda)

@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 
+	"sdem/internal/numeric"
 	"sdem/internal/power"
 	"sdem/internal/task"
 )
@@ -92,6 +93,8 @@ type Schedule struct {
 
 // New returns an empty schedule for numCores cores over [start, end] with
 // break-even sleeping (the model the optimal schemes assume).
+//
+//lint:allow auditcheck: constructor returns an empty schedule with nothing to normalize yet
 func New(numCores int, start, end float64) *Schedule {
 	return &Schedule{
 		NumCores:     numCores,
@@ -170,7 +173,7 @@ func (s *Schedule) Validate(tasks task.Set, opts ValidateOptions) error {
 			if sg.Speed < 0 {
 				return fmt.Errorf("core %d segment %d: negative speed %g", c, i, sg.Speed)
 			}
-			if opts.SpeedMax > 0 && sg.Speed > opts.SpeedMax*(1+1e-9)+Tol {
+			if opts.SpeedMax > 0 && sg.Speed > opts.SpeedMax*(1+Tol)+Tol {
 				return fmt.Errorf("core %d segment %d: speed %g exceeds cap %g", c, i, sg.Speed, opts.SpeedMax)
 			}
 			t, ok := byID[sg.TaskID]
@@ -318,7 +321,7 @@ func gapCost(g, alpha, xi float64, p SleepPolicy) (static, transition, slept flo
 	if g <= Tol {
 		return 0, 0, 0, false
 	}
-	if alpha == 0 {
+	if numeric.IsZero(alpha, 0) {
 		// A leak-free component is indifferent; call it asleep for the
 		// sleep-time statistics.
 		return 0, 0, g, false
@@ -349,7 +352,7 @@ func auditCore(b *Breakdown, s *Schedule, core power.Core, segs []Segment) {
 		// A DVS switch happens whenever consecutive executions of this
 		// core run at different speeds (sleep/wake costs are charged
 		// separately via the break-even model).
-		if i > 0 && math.Abs(sg.Speed-segs[i-1].Speed) > 1e-9*math.Max(1, sg.Speed) {
+		if i > 0 && math.Abs(sg.Speed-segs[i-1].Speed) > Tol*math.Max(1, sg.Speed) {
 			b.SpeedSwitches++
 			b.CoreSwitch += core.SwitchEnergy
 		}
@@ -423,7 +426,7 @@ func AuditPerCore(s *Schedule, cores []power.Core, mem power.Memory) Breakdown {
 		busyLen += iv.Len()
 	}
 	b.MemoryStatic += sys.Memory.Static * busyLen
-	if busyLen == 0 {
+	if numeric.IsZero(busyLen, Tol) {
 		// Memory never woke: it sleeps through the whole horizon for
 		// free under sleeping policies, or idles under SleepNever.
 		if s.MemoryPolicy == SleepNever {

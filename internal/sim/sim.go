@@ -13,6 +13,7 @@ import (
 	"math"
 	"sort"
 
+	"sdem/internal/numeric"
 	"sdem/internal/power"
 	"sdem/internal/schedule"
 	"sdem/internal/task"
@@ -72,7 +73,7 @@ func NewPool(tasks task.Set, sys power.System, cores int) (*Pool, error) {
 	}
 	p.tasks.SortByRelease()
 	for _, t := range p.tasks {
-		p.jobs[t.ID] = &Job{Task: t, Remaining: t.Workload, Core: -1, Done: t.Workload == 0}
+		p.jobs[t.ID] = &Job{Task: t, Remaining: t.Workload, Core: -1, Done: numeric.IsZero(t.Workload, 0)}
 		p.order = append(p.order, t.ID)
 	}
 	return p, nil
@@ -115,6 +116,7 @@ func (p *Pool) Released(t float64) []*Job {
 		}
 	}
 	sort.SliceStable(out, func(a, b int) bool {
+		//lint:allow floatcmp: sort tie-breaking must be exact to keep the comparator transitive
 		if out[a].Task.Deadline != out[b].Task.Deadline {
 			return out[a].Task.Deadline < out[b].Task.Deadline
 		}
@@ -211,7 +213,7 @@ func (p *Pool) Finish() (*Result, error) {
 	var m Metrics
 	for _, id := range p.order {
 		j := p.jobs[id]
-		if !j.Done || j.Task.Workload == 0 {
+		if !j.Done || numeric.IsZero(j.Task.Workload, 0) {
 			continue
 		}
 		resp := j.Completed - j.Task.Release

@@ -7,6 +7,8 @@ package stats
 import (
 	"fmt"
 	"math"
+
+	"sdem/internal/numeric"
 )
 
 // Mean returns the arithmetic mean (0 for an empty slice).
@@ -68,7 +70,7 @@ func (s Summary) String() string {
 // SavingRatio returns (base − x)/base, the paper's energy-saving metric,
 // or 0 when base is 0.
 func SavingRatio(base, x float64) float64 {
-	if base == 0 {
+	if numeric.IsZero(base, 0) {
 		return 0
 	}
 	return (base - x) / base

@@ -8,7 +8,14 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"sdem/internal/numeric"
 )
+
+// speedTol is the package's relative speed-feasibility tolerance. It
+// matches schedule.Tol (1e-9) by value; the schedule package imports task,
+// so the constant is restated here rather than imported.
+const speedTol = 1e-9
 
 // Task is one real-time job instance. Times are seconds, workload is CPU
 // cycles. A task accesses memory throughout its whole execution (§3).
@@ -35,7 +42,7 @@ func (t Task) Window() float64 { return t.Deadline - t.Release }
 func (t Task) FilledSpeed() float64 {
 	w := t.Window()
 	if w <= 0 {
-		if t.Workload == 0 {
+		if numeric.IsZero(t.Workload, 0) {
 			return 0
 		}
 		return math.Inf(1)
@@ -52,7 +59,7 @@ func (t Task) Validate() error {
 		return fmt.Errorf("task %d: negative workload %g", t.ID, t.Workload)
 	case t.Deadline < t.Release:
 		return fmt.Errorf("task %d: deadline %g precedes release %g", t.ID, t.Deadline, t.Release)
-	case t.Workload > 0 && t.Deadline == t.Release:
+	case t.Workload > 0 && numeric.IsZero(t.Window(), 0):
 		return fmt.Errorf("task %d: positive workload in empty window", t.ID)
 	}
 	return nil
@@ -128,10 +135,11 @@ func (s Set) MaxFilledSpeed() float64 {
 // SortByDeadline sorts the set in place by (deadline, release, ID).
 func (s Set) SortByDeadline() {
 	sort.SliceStable(s, func(i, j int) bool {
+		//lint:allow floatcmp: sort tie-breaking must be exact to keep the comparator transitive
 		if s[i].Deadline != s[j].Deadline {
 			return s[i].Deadline < s[j].Deadline
 		}
-		if s[i].Release != s[j].Release {
+		if s[i].Release != s[j].Release { //lint:allow floatcmp: exact tie-break, see above
 			return s[i].Release < s[j].Release
 		}
 		return s[i].ID < s[j].ID
@@ -141,10 +149,11 @@ func (s Set) SortByDeadline() {
 // SortByRelease sorts the set in place by (release, deadline, ID).
 func (s Set) SortByRelease() {
 	sort.SliceStable(s, func(i, j int) bool {
+		//lint:allow floatcmp: sort tie-breaking must be exact to keep the comparator transitive
 		if s[i].Release != s[j].Release {
 			return s[i].Release < s[j].Release
 		}
-		if s[i].Deadline != s[j].Deadline {
+		if s[i].Deadline != s[j].Deadline { //lint:allow floatcmp: exact tie-break, see above
 			return s[i].Deadline < s[j].Deadline
 		}
 		return s[i].ID < s[j].ID
@@ -194,10 +203,11 @@ func (s Set) Classify() Model {
 	}
 	commonRelease, commonDeadline := true, true
 	for _, t := range s[1:] {
+		//lint:allow floatcmp: the task models of Table 1 are defined on exact input times
 		if t.Release != s[0].Release {
 			commonRelease = false
 		}
-		if t.Deadline != s[0].Deadline {
+		if t.Deadline != s[0].Deadline { //lint:allow floatcmp: exact model classification, see above
 			commonDeadline = false
 		}
 	}
@@ -230,6 +240,7 @@ func (s Set) IsAgreeable() bool {
 // IsCommonRelease reports whether every task shares one release time.
 func (s Set) IsCommonRelease() bool {
 	for _, t := range s[min(1, len(s)):] {
+		//lint:allow floatcmp: common release is defined on exact input times
 		if t.Release != s[0].Release {
 			return false
 		}
@@ -244,9 +255,8 @@ func (s Set) Feasible(speedMax float64) bool {
 	if speedMax <= 0 {
 		return true
 	}
-	const tol = 1e-9
 	for _, t := range s {
-		if t.FilledSpeed() > speedMax*(1+tol) {
+		if t.FilledSpeed() > speedMax*(1+speedTol) {
 			return false
 		}
 	}

@@ -11,6 +11,10 @@ import (
 	"sdem/internal/schedule"
 )
 
+// visTol is the execution mass (speed·seconds per cell) below which a
+// trace cell renders as idle; it matches schedule.Tol (1e-9) by value.
+const visTol = 1e-9
+
 // Options tunes the rendering.
 type Options struct {
 	// Width is the number of character columns of the time axis
@@ -67,7 +71,7 @@ func Render(s *schedule.Schedule, opts Options) string {
 				idx = 0
 			}
 			// Any execution at all must stay visible, however faint.
-			if idx == 0 && v > 1e-9 {
+			if idx == 0 && v > visTol {
 				idx = 1
 			}
 			r.WriteRune(glyphs[idx])

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"sdem/internal/dsp"
+	"sdem/internal/numeric"
 	"sdem/internal/power"
 	"sdem/internal/task"
 )
@@ -35,19 +36,19 @@ type SyntheticConfig struct {
 }
 
 func (c SyntheticConfig) withDefaults() SyntheticConfig {
-	if c.MaxInterArrival == 0 {
+	if numeric.IsZero(c.MaxInterArrival, 0) {
 		c.MaxInterArrival = power.Milliseconds(400)
 	}
-	if c.WorkMin == 0 {
+	if numeric.IsZero(c.WorkMin, 0) {
 		c.WorkMin = 2e6
 	}
-	if c.WorkMax == 0 {
+	if numeric.IsZero(c.WorkMax, 0) {
 		c.WorkMax = 5e6
 	}
-	if c.WindowMin == 0 {
+	if numeric.IsZero(c.WindowMin, 0) {
 		c.WindowMin = power.Milliseconds(10)
 	}
-	if c.WindowMax == 0 {
+	if numeric.IsZero(c.WindowMax, 0) {
 		c.WindowMax = power.Milliseconds(120)
 	}
 	return c
