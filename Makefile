@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test lint fmt
+.PHONY: check build vet test lint fmt fuzz
 
 # check chains the same steps CI runs (.github/workflows/ci.yml).
 check: build vet test lint
@@ -16,6 +16,11 @@ test:
 
 lint:
 	$(GO) run ./cmd/sdemlint ./...
+
+# fuzz is a short smoke run of the resilient-runtime fuzz target; CI runs
+# it on every push, longer campaigns are manual (-fuzztime 10m etc.).
+fuzz:
+	$(GO) test ./internal/resilient -run '^$$' -fuzz FuzzExecute -fuzztime 10s
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,82 @@
+// Command faultsim replays SDEM schedules through seeded fault plans and
+// reports how the graceful-degradation runtime holds up: deadline misses
+// with and without the recovery chain, the actions taken, and the energy
+// cost of recovering.
+//
+// Usage:
+//
+//	faultsim -sweep quick
+//	faultsim -sweep full -out sweep.json
+//	faultsim -n 12 -seed 7 -intensity 0.6 -trials 20
+//
+// The sweep is deterministic in its seeds: the same invocation always
+// prints the same table. -out writes the sweep as a versioned JSON
+// document (kind "fault-sweep") via the library's interchange format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sdem/internal/encode"
+	"sdem/internal/experiments"
+)
+
+func main() {
+	var (
+		sweep     = flag.String("sweep", "", "preset sweep: quick|full (overrides -intensity)")
+		n         = flag.Int("n", 10, "number of benchmark task instances")
+		seed      = flag.Int64("seed", 3, "workload seed")
+		trials    = flag.Int("trials", 5, "fault seeds per intensity")
+		intensity = flag.Float64("intensity", 0.5, "single fault intensity when no -sweep preset is given")
+		wakeMax   = flag.Float64("wakemax", 0.01, "wake-latency ceiling as a multiple of xi_m")
+		out       = flag.String("out", "", "write the sweep as JSON to this file")
+	)
+	flag.Parse()
+	if err := run(*sweep, *n, *seed, *trials, *intensity, *wakeMax, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sweep string, n int, seed int64, trials int, intensity, wakeMax float64, out string) error {
+	cfg := experiments.FaultConfig{
+		N:            n,
+		Trials:       trials,
+		Seed:         seed,
+		WakeDelayMax: wakeMax,
+		Intensities:  []float64{intensity},
+	}
+	switch sweep {
+	case "quick":
+		cfg.Intensities = []float64{0.25, 0.5}
+	case "full":
+		cfg.Intensities = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+		if trials == 5 {
+			cfg.Trials = 10
+		}
+	case "":
+		// single -intensity point
+	default:
+		return fmt.Errorf("unknown sweep preset %q (want quick or full)", sweep)
+	}
+
+	res, err := experiments.FaultSweep(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderFaultSweep(res))
+
+	if out != "" {
+		data, err := encode.MarshalFaultSweep(res)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("sweep written to %s\n", out)
+	}
+	return nil
+}

@@ -81,7 +81,7 @@ func normalize(tasks task.Set, sys power.System, natural func(task.Task) float64
 		return nil, ErrNotCommonRelease
 	}
 	if !tasks.Feasible(sys.Core.SpeedMax) {
-		return nil, fmt.Errorf("commonrelease: some task exceeds s_up even at filled speed")
+		return nil, fmt.Errorf("commonrelease: some task exceeds s_up even at filled speed: %w", schedule.ErrInfeasible)
 	}
 	release := tasks[0].Release
 	in := &instance{sys: sys, release: release}
@@ -99,7 +99,7 @@ func normalize(tasks task.Set, sys power.System, natural func(task.Task) float64
 	for i, t := range in.tasks {
 		s := natural(t)
 		if s <= 0 || math.IsInf(s, 0) {
-			return nil, fmt.Errorf("commonrelease: task %d has invalid natural speed %g", t.ID, s)
+			return nil, fmt.Errorf("commonrelease: task %d has invalid natural speed %g: %w", t.ID, s, schedule.ErrInfeasible)
 		}
 		in.c[i] = t.Workload / s
 	}

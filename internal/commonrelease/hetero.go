@@ -67,7 +67,7 @@ func SolveHetero(tasks task.Set, cores []power.Core, mem power.Memory) (*Solutio
 		}
 		filled := t.FilledSpeed()
 		if cores[i].SpeedMax > 0 && filled > cores[i].SpeedMax*(1+relTol) {
-			return nil, fmt.Errorf("commonrelease: task %d infeasible on its core even at s_up", t.ID)
+			return nil, fmt.Errorf("commonrelease: task %d infeasible on its core even at s_up: %w", t.ID, schedule.ErrInfeasible)
 		}
 		s0 := cores[i].CriticalSpeed(filled)
 		items = append(items, item{t: t, core: cores[i], c: t.Workload / s0})

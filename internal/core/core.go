@@ -68,7 +68,7 @@ func schemeName(model task.Model, sys power.System) string {
 
 // Solve computes the offline optimal SDEM schedule on the unbounded-core
 // platform, dispatching per Table 1.
-func Solve(tasks task.Set, sys power.System) (*Solution, error) {
+func Solve(tasks task.Set, sys power.System) (*Solution, error) { //lint:allow auditcheck: wraps sub-solver solutions whose schedules are normalized by the callee
 	model := tasks.Classify()
 	switch model {
 	case task.ModelEmpty, task.ModelCommonDeadline, task.ModelCommonRelease:

@@ -33,11 +33,53 @@ type Document struct {
 
 // Kinds of payloads.
 const (
-	KindTasks    = "tasks"
-	KindSystem   = "system"
-	KindSchedule = "schedule"
-	KindRun      = "run"
+	KindTasks      = "tasks"
+	KindSystem     = "system"
+	KindSchedule   = "schedule"
+	KindRun        = "run"
+	KindFaultSweep = "fault-sweep"
 )
+
+// FaultSweepRow is one intensity point of a fault-injection sweep:
+// aggregate miss and recovery statistics over the trial fault seeds.
+type FaultSweepRow struct {
+	// Intensity is the fault generator's headline knob.
+	Intensity float64 `json:"intensity"`
+	// Trials is the number of fault seeds at this point.
+	Trials int `json:"trials"`
+	// Faults is the total number of injected faults across trials.
+	Faults int `json:"faults"`
+	// BareMisses counts fault-induced misses of the no-recovery replay.
+	BareMisses int `json:"bare_misses"`
+	// RecoveredMisses counts fault-induced misses left by the full
+	// recovery chain.
+	RecoveredMisses int `json:"recovered_misses"`
+	// Averted counts fault-threatened deadlines the chain met.
+	Averted int `json:"averted"`
+	// Boosts, Replans and Races count the recovery actions taken.
+	Boosts  int `json:"boosts"`
+	Replans int `json:"replans"`
+	Races   int `json:"races"`
+	// EnergyOverhead is the mean relative energy of the faulty recovered
+	// run against the fault-free schedule, (E − E_clean)/E_clean,
+	// averaged over trials. It includes both the recovery actions and
+	// the fault energy itself (wake stalls, spurious wakes).
+	EnergyOverhead float64 `json:"energy_overhead"`
+}
+
+// FaultSweep is the interchange payload of a cmd/faultsim campaign.
+type FaultSweep struct {
+	// Workload names the generated task set (e.g. "fft").
+	Workload string `json:"workload"`
+	// N is the number of task instances.
+	N int `json:"n"`
+	// Seed is the workload seed.
+	Seed int64 `json:"seed"`
+	// CleanEnergy is the audited energy of the fault-free schedule.
+	CleanEnergy float64 `json:"clean_energy"`
+	// Rows are the intensity points in sweep order.
+	Rows []FaultSweepRow `json:"rows"`
+}
 
 // Run bundles a scheduling result for interchange: the inputs, the
 // schedule and its audited breakdown.
@@ -138,6 +180,18 @@ func UnmarshalRun(data []byte) (Run, error) {
 			r.Breakdown.Total(), fresh.Total())
 	}
 	return r, nil
+}
+
+// MarshalFaultSweep encodes a fault-injection sweep result.
+func MarshalFaultSweep(s FaultSweep) ([]byte, error) { return wrap(KindFaultSweep, s) }
+
+// UnmarshalFaultSweep decodes a fault-injection sweep result.
+func UnmarshalFaultSweep(data []byte) (FaultSweep, error) {
+	var s FaultSweep
+	if err := unwrap(data, KindFaultSweep, &s); err != nil {
+		return FaultSweep{}, err
+	}
+	return s, nil
 }
 
 // Write writes an encoded document to w with a trailing newline.

@@ -93,7 +93,7 @@ type Comparison struct {
 }
 
 // Compare runs all compared schedulers on one task set.
-func Compare(tasks task.Set, sys power.System, cores int) (*Comparison, error) {
+func Compare(tasks task.Set, sys power.System, cores int) (*Comparison, error) { //lint:allow auditcheck: wraps simulator results normalized by each scheduler
 	mbkp, err := baseline.MBKP(tasks, sys, cores)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: MBKP: %w", err)

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sdem/internal/core"
+	"sdem/internal/encode"
+	"sdem/internal/faults"
+	"sdem/internal/power"
+	"sdem/internal/resilient"
+	"sdem/internal/stats"
+	"sdem/internal/workload"
+)
+
+// FaultConfig tunes a fault-injection sweep campaign. The zero value
+// takes the quick-sweep defaults.
+type FaultConfig struct {
+	// N is the number of benchmark task instances (default 10).
+	N int
+	// Trials is the number of fault seeds per intensity (default 5).
+	Trials int
+	// Intensities are the generator intensities swept (default 0.25, 0.5).
+	Intensities []float64
+	// Seed is the workload seed (default 3).
+	Seed int64
+	// WakeDelayMax bounds the extra wake latency as a multiple of ξ_m
+	// (default 0.01: a full-ξ_m stall on a sub-millisecond procrastinated
+	// execution is unrecoverable by physics, not by policy, and would
+	// measure the platform rather than the recovery chain).
+	WakeDelayMax float64
+}
+
+func (c FaultConfig) withDefaults() FaultConfig {
+	if c.N == 0 {
+		c.N = 10
+	}
+	if c.Trials == 0 {
+		c.Trials = 5
+	}
+	if len(c.Intensities) == 0 {
+		c.Intensities = []float64{0.25, 0.5}
+	}
+	if c.Seed == 0 {
+		c.Seed = 3
+	}
+	if c.WakeDelayMax <= 0 {
+		c.WakeDelayMax = 0.01
+	}
+	return c
+}
+
+// FaultSweep replays the offline-optimal schedule of an agreeable
+// benchmark workload through seeded fault plans of increasing intensity,
+// once with the full recovery chain and once with recovery disabled, and
+// aggregates miss counts, recovery actions and the energy cost of
+// degradation. Deterministic in (cfg, seeds): the same call always yields
+// the same table.
+func FaultSweep(cfg FaultConfig) (encode.FaultSweep, error) {
+	cfg = cfg.withDefaults()
+	sys := power.DefaultSystem()
+	tasks, err := workload.Benchmark(workload.BenchmarkConfig{N: cfg.N, Kernel: workload.KernelFFT, U: 4}, cfg.Seed)
+	if err != nil {
+		return encode.FaultSweep{}, err
+	}
+	sol, err := core.Solve(tasks, sys)
+	if err != nil {
+		return encode.FaultSweep{}, err
+	}
+	out := encode.FaultSweep{
+		Workload:    "fft",
+		N:           cfg.N,
+		Seed:        cfg.Seed,
+		CleanEnergy: sol.Energy,
+	}
+	gen := faults.Config{WakeDelayMax: cfg.WakeDelayMax}
+	for _, in := range cfg.Intensities {
+		gen.Intensity = in
+		row := encode.FaultSweepRow{Intensity: in, Trials: cfg.Trials}
+		var overheads []float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			plan := faults.Generate(gen, tasks, sys, cfg.Seed+int64(trial)+1)
+			row.Faults += len(plan.Faults)
+
+			rec, err := resilient.Execute(sol.Schedule, tasks, sys, plan, resilient.DefaultPolicy())
+			if err != nil {
+				return encode.FaultSweep{}, fmt.Errorf("intensity %g trial %d: %w", in, trial, err)
+			}
+			row.RecoveredMisses += len(rec.FaultMisses)
+			row.Averted += len(rec.Averted)
+			row.Boosts += rec.Recoveries.Count(resilient.ActionBoost)
+			row.Replans += rec.Recoveries.Count(resilient.ActionReplan)
+			row.Races += rec.Recoveries.Count(resilient.ActionRace)
+			overheads = append(overheads, rec.Energy/sol.Energy-1)
+
+			bare, err := resilient.Execute(sol.Schedule, tasks, sys, plan, resilient.NoRecovery())
+			if err != nil {
+				return encode.FaultSweep{}, fmt.Errorf("intensity %g trial %d (bare): %w", in, trial, err)
+			}
+			row.BareMisses += len(bare.FaultMisses)
+		}
+		row.EnergyOverhead = stats.Mean(overheads)
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// RenderFaultSweep formats the sweep as an aligned text table.
+func RenderFaultSweep(s encode.FaultSweep) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== fault sweep: %s workload, n=%d, seed %d, clean energy %.4f J ==\n",
+		s.Workload, s.N, s.Seed, s.CleanEnergy)
+	fmt.Fprintf(&b, "%-10s %-7s %-7s %-12s %-12s %-8s %-7s %-8s %-6s %s\n",
+		"intensity", "trials", "faults", "misses/bare", "misses/rec", "averted", "boosts", "replans", "races", "energy overhead")
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "%-10.3g %-7d %-7d %-12d %-12d %-8d %-7d %-8d %-6d %s\n",
+			r.Intensity, r.Trials, r.Faults, r.BareMisses, r.RecoveredMisses,
+			r.Averted, r.Boosts, r.Replans, r.Races, stats.Percent(r.EnergyOverhead))
+	}
+	return b.String()
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"sdem/internal/encode"
+)
+
+func TestFaultSweepDeterministicAndRoundTrips(t *testing.T) {
+	cfg := FaultConfig{N: 8, Trials: 3, Intensities: []float64{0.5}}
+	a, err := FaultSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("fault sweep is not deterministic:\n%+v\n%+v", a, b)
+	}
+	if len(a.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(a.Rows))
+	}
+	r := a.Rows[0]
+	if r.BareMisses == 0 {
+		t.Errorf("no-recovery replay never missed; the sweep is vacuous")
+	}
+	if r.RecoveredMisses != 0 {
+		t.Errorf("recovery left %d fault-induced misses at moderate intensity", r.RecoveredMisses)
+	}
+	if r.Boosts+r.Replans+r.Races == 0 {
+		t.Errorf("no recovery actions logged despite %d bare misses", r.BareMisses)
+	}
+
+	data, err := encode.MarshalFaultSweep(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := encode.UnmarshalFaultSweep(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, a) {
+		t.Fatalf("encode round-trip mutated the sweep:\n%+v\n%+v", back, a)
+	}
+}

@@ -1,0 +1,91 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"sdem/internal/power"
+	"sdem/internal/task"
+)
+
+func testTasks() task.Set {
+	return task.Set{
+		{ID: 0, Release: 0, Deadline: 0.1, Workload: 5e6},
+		{ID: 1, Release: 0.02, Deadline: 0.15, Workload: 3e6},
+		{ID: 2, Release: 0.05, Deadline: 0.3, Workload: 8e6},
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	tasks := testTasks()
+	sys := power.DefaultSystem()
+	cfg := Config{Intensity: 0.8}
+	a := Generate(cfg, tasks, sys, 42)
+	b := Generate(cfg, tasks, sys, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different plans:\n%v\n%v", a, b)
+	}
+	c := Generate(cfg, tasks, sys, 43)
+	if reflect.DeepEqual(a.Faults, c.Faults) && len(a.Faults) > 0 {
+		t.Fatalf("different seeds produced identical non-empty plans")
+	}
+}
+
+func TestGenerateZeroIntensityEmpty(t *testing.T) {
+	p := Generate(Config{Intensity: 0}, testTasks(), power.DefaultSystem(), 1)
+	if !p.Empty() {
+		t.Fatalf("intensity 0 generated %d faults", len(p.Faults))
+	}
+}
+
+func TestGeneratedPlansValidate(t *testing.T) {
+	tasks := testTasks()
+	sys := power.DefaultSystem()
+	for seed := int64(0); seed < 50; seed++ {
+		for _, in := range []float64{0.1, 0.5, 1.0, 2.0} {
+			p := Generate(Config{Intensity: in}, tasks, sys, seed)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("seed %d intensity %g: invalid plan: %v", seed, in, err)
+			}
+		}
+	}
+}
+
+func TestGenerateKindsFilter(t *testing.T) {
+	p := Generate(Config{Intensity: 1, Kinds: []Kind{Overrun}}, testTasks(), power.DefaultSystem(), 7)
+	for _, f := range p.Faults {
+		if f.Kind != Overrun {
+			t.Fatalf("kinds filter leaked a %v fault", f.Kind)
+		}
+	}
+	if len(p.ByKind(Overrun)) != len(p.Faults) {
+		t.Fatalf("ByKind(Overrun) = %d faults, want %d", len(p.ByKind(Overrun)), len(p.Faults))
+	}
+}
+
+func TestFaultValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Fault
+		ok   bool
+	}{
+		{"good overrun", Fault{Kind: Overrun, TaskID: 1, Core: -1, Factor: 1.2}, true},
+		{"zero-factor overrun", Fault{Kind: Overrun, TaskID: 1, Core: -1, Factor: 0}, false},
+		{"good cap", Fault{Kind: SpeedCap, TaskID: -1, Core: 2, Factor: 0.5, At: 1, Until: 2}, true},
+		{"cap factor above 1", Fault{Kind: SpeedCap, TaskID: -1, Core: 2, Factor: 1.5, At: 1, Until: 2}, false},
+		{"inverted cap interval", Fault{Kind: SpeedCap, TaskID: -1, Core: 2, Factor: 0.5, At: 2, Until: 1}, false},
+		{"cap without core", Fault{Kind: SpeedCap, TaskID: -1, Core: -1, Factor: 0.5, At: 1, Until: 2}, false},
+		{"negative wake delay", Fault{Kind: WakeLatency, TaskID: -1, Core: -1, Delay: -1}, false},
+		{"good late release", Fault{Kind: LateRelease, TaskID: 0, Core: -1, Delay: 0.01}, true},
+		{"unknown kind", Fault{Kind: Kind(99)}, false},
+	}
+	for _, tc := range cases {
+		err := tc.f.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: validation passed, want error", tc.name)
+		}
+	}
+}

@@ -5,8 +5,11 @@
 // implies it was called) runs before a Schedule is audited; an exported
 // solver entry point that returns a Schedule without either call can leak
 // unsorted or empty segments into the energy audit. The analyzer flags any
-// exported function whose results include a schedule.Schedule unless its
-// body calls Normalize/Validate or visibly delegates by returning another
+// exported function whose results include a schedule.Schedule — directly,
+// or carried inside a result struct such as a solver Solution, the
+// simulator's Result, or the resilient runtime's Result (transitively: a
+// struct whose fields carry a Schedule counts too) — unless its body calls
+// Normalize/Validate or visibly delegates by returning another
 // schedule-producing call.
 package auditcheck
 
@@ -21,9 +24,9 @@ import (
 // Analyzer is the auditcheck pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "auditcheck",
-	Doc: "flags exported functions returning a schedule.Schedule whose body " +
-		"neither calls Normalize/Validate nor delegates to another " +
-		"schedule-returning call",
+	Doc: "flags exported functions returning a schedule.Schedule (directly or " +
+		"inside a result struct) whose body neither calls Normalize/Validate " +
+		"nor delegates to another schedule-returning call",
 	Run: run,
 }
 
@@ -68,14 +71,43 @@ func isScheduleType(t types.Type) bool {
 	return path == "schedule" || strings.HasSuffix(path, "/schedule")
 }
 
-// returnsSchedule reports whether any declared result of fn is a Schedule.
+// isScheduleCarrier reports whether t is a Schedule, or a (pointer to a)
+// named struct that transitively carries one in its fields — a solver
+// Solution, the simulator's Result, or the resilient runtime's Result,
+// whose embedded schedule crosses the package boundary just the same.
+func isScheduleCarrier(t types.Type, seen map[types.Type]bool) bool {
+	if isScheduleType(t) {
+		return true
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || seen[named] {
+		return false
+	}
+	seen[named] = true
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isScheduleCarrier(st.Field(i).Type(), seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// returnsSchedule reports whether any declared result of fn is a Schedule
+// or a struct carrying one.
 func returnsSchedule(pass *analysis.Pass, fn *ast.FuncDecl) bool {
 	if fn.Type.Results == nil {
 		return false
 	}
 	for _, field := range fn.Type.Results.List {
 		tv, ok := pass.TypesInfo.Types[field.Type]
-		if ok && tv.Type != nil && isScheduleType(tv.Type) {
+		if ok && tv.Type != nil && isScheduleCarrier(tv.Type, map[types.Type]bool{}) {
 			return true
 		}
 	}
@@ -125,12 +157,12 @@ func delegatesSchedule(pass *analysis.Pass, body *ast.BlockStmt) bool {
 			switch t := tv.Type.(type) {
 			case *types.Tuple:
 				for i := 0; i < t.Len(); i++ {
-					if isScheduleType(t.At(i).Type()) {
+					if isScheduleCarrier(t.At(i).Type(), map[types.Type]bool{}) {
 						found = true
 					}
 				}
 			default:
-				if isScheduleType(t) {
+				if isScheduleCarrier(t, map[types.Type]bool{}) {
 					found = true
 				}
 			}

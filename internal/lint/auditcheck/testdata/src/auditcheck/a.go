@@ -46,3 +46,40 @@ func NotSchedule() int {
 	_ = internalBuilder()
 	return 0
 }
+
+// Result models a solver Solution / runtime Result: the schedule crosses
+// the package boundary inside a struct field.
+type Result struct {
+	Schedule *schedule.Schedule
+	Energy   float64
+}
+
+// Outer carries a Result, which carries a Schedule — the obligation is
+// transitive.
+type Outer struct {
+	R *Result
+}
+
+func BadCarrier() *Result { // want "exported BadCarrier returns a schedule.Schedule but never calls Normalize or Validate"
+	return &Result{Schedule: &schedule.Schedule{}}
+}
+
+func BadNestedCarrier() (Outer, error) { // want "exported BadNestedCarrier returns a schedule.Schedule but never calls Normalize or Validate"
+	return Outer{R: &Result{Schedule: &schedule.Schedule{}}}, nil
+}
+
+func GoodCarrier() *Result {
+	s := &schedule.Schedule{}
+	s.Normalize()
+	return &Result{Schedule: s}
+}
+
+func GoodCarrierDelegates() *Result {
+	return GoodCarrier()
+}
+
+func GoodNestedDelegates() (Outer, error) {
+	return wrapOuter(), nil
+}
+
+func wrapOuter() Outer { return Outer{R: GoodCarrier()} }

@@ -90,10 +90,29 @@ func step(pool *sim.Pool, busyUntil []float64, now, next float64, opts Options) 
 	return execute(pool, busyUntil, plans, wake, next)
 }
 
-// makePlans solves the common-release instance of the active jobs at time
-// now and returns per-job plans plus the wake time (the earliest latest
-// execution point).
-func makePlans(pool *sim.Pool, active []*sim.Job, now float64, opts Options) ([]plan, float64, error) {
+// Plan is one job's share of a common-release re-plan at some instant:
+// execute the job's remaining workload for P seconds at Speed. Urgent
+// marks jobs already beyond salvation at a stretched speed, which the plan
+// races at s_up immediately.
+type Plan struct {
+	TaskID int
+	// P is the planned execution time in seconds.
+	P float64
+	// Speed is the planned constant speed in Hz.
+	Speed float64
+	// Urgent marks a job whose deadline is unreachable without racing.
+	Urgent bool
+}
+
+// PlanAt solves the common-release instance formed by the given unfinished
+// jobs at time now — remaining workloads, original deadlines — with the §4
+// schemes, and returns the per-job plans plus the wake time (the earliest
+// latest execution point d_j − p_j over the planned jobs; now itself when
+// any job is urgent). This is the re-planning step SDEM-ON performs on
+// every arrival, exported so the resilient runtime's recovery chain can
+// re-plan mid-execution after a fault. Infeasibility surfaces as an error
+// wrapping schedule.ErrInfeasible.
+func PlanAt(pool *sim.Pool, active []*sim.Job, now float64, opts Options) ([]Plan, float64, error) {
 	sys := pool.System()
 	planSys := sys
 	if opts.PlanAlphaZero {
@@ -101,10 +120,8 @@ func makePlans(pool *sim.Pool, active []*sim.Job, now float64, opts Options) ([]
 		planSys.Core.BreakEven = 0
 	}
 	virtual := make(task.Set, 0, len(active))
-	byID := make(map[int]*sim.Job, len(active))
 	var urgent []*sim.Job
 	for _, j := range active {
-		byID[j.Task.ID] = j
 		window := j.Task.Deadline - now
 		if window <= 0 || (sys.Core.SpeedMax > 0 && j.Remaining/window > sys.Core.SpeedMax) {
 			// Already beyond salvation at a stretched speed: race at
@@ -119,7 +136,7 @@ func makePlans(pool *sim.Pool, active []*sim.Job, now float64, opts Options) ([]
 			Workload: j.Remaining,
 		})
 	}
-	plans := make([]plan, 0, len(active))
+	plans := make([]Plan, 0, len(active))
 	wake := math.Inf(1)
 	if len(virtual) > 0 {
 		sol, err := commonrelease.Solve(virtual, planSys)
@@ -135,22 +152,39 @@ func makePlans(pool *sim.Pool, active []*sim.Job, now float64, opts Options) ([]
 			}
 		}
 		for _, vt := range virtual {
-			j := byID[vt.ID]
 			p := ends[vt.ID] - now
 			if p <= 0 { // defensive: plan must give every task time
 				p = vt.Workload / effectiveMax(sys)
 			}
-			plans = append(plans, plan{job: j, p: p, speed: j.Remaining / p})
-			wake = math.Min(wake, j.Task.Deadline-p)
+			plans = append(plans, Plan{TaskID: vt.ID, P: p, Speed: vt.Workload / p})
+			wake = math.Min(wake, vt.Deadline-p)
 		}
 	}
 	for _, j := range urgent {
 		p := j.Remaining / effectiveMax(sys)
-		plans = append(plans, plan{job: j, p: p, speed: effectiveMax(sys)})
+		plans = append(plans, Plan{TaskID: j.Task.ID, P: p, Speed: effectiveMax(sys), Urgent: true})
 		wake = now
 	}
 	if wake < now {
 		wake = now
+	}
+	return plans, wake, nil
+}
+
+// makePlans binds PlanAt's result back to the pool's job objects for the
+// execute step.
+func makePlans(pool *sim.Pool, active []*sim.Job, now float64, opts Options) ([]plan, float64, error) {
+	pub, wake, err := PlanAt(pool, active, now, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	byID := make(map[int]*sim.Job, len(active))
+	for _, j := range active {
+		byID[j.Task.ID] = j
+	}
+	plans := make([]plan, 0, len(pub))
+	for _, pl := range pub {
+		plans = append(plans, plan{job: byID[pl.TaskID], p: pl.P, speed: pl.Speed})
 	}
 	return plans, wake, nil
 }

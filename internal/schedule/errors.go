@@ -1,0 +1,20 @@
+package schedule
+
+import "errors"
+
+// Sentinel failure classes shared by every scheduler and the resilient
+// runtime. Solvers wrap them with fmt.Errorf("...: %w", Err...) so the
+// human-readable message survives while callers branch with errors.Is:
+//
+//   - ErrInfeasible: the instance cannot be scheduled at all (a task
+//     exceeds s_up even at its filled speed, or an equivalent structural
+//     impossibility). The recovery chain treats it as "re-planning cannot
+//     help" and escalates to racing.
+//   - ErrDeadlineMiss: a schedule runs (or would run) a task past its
+//     deadline.
+//   - ErrSpeedCap: a schedule demands a speed above the platform's s_up.
+var (
+	ErrInfeasible   = errors.New("infeasible")
+	ErrDeadlineMiss = errors.New("deadline miss")
+	ErrSpeedCap     = errors.New("speed cap exceeded")
+)

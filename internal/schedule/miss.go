@@ -1,0 +1,62 @@
+package schedule
+
+import "fmt"
+
+// MissClass attributes a deadline miss (or a narrowly averted one) to its
+// cause, so fault-injection runs can separate "the plan was already late"
+// from "a fault pushed us late" from "a fault threatened the deadline but
+// the recovery chain absorbed it".
+type MissClass int
+
+const (
+	// MissPlanned marks a miss already present in the unperturbed input
+	// schedule (or unavoidable from the inputs).
+	MissPlanned MissClass = iota
+	// MissFaultInduced marks a miss caused by injected faults that the
+	// runtime could not recover from.
+	MissFaultInduced
+	// MissAverted marks a fault-threatened deadline that the recovery
+	// chain met: recorded for auditability, not a real miss.
+	MissAverted
+)
+
+// String implements fmt.Stringer.
+func (c MissClass) String() string {
+	switch c {
+	case MissPlanned:
+		return "planned"
+	case MissFaultInduced:
+		return "fault-induced"
+	case MissAverted:
+		return "averted"
+	default:
+		return fmt.Sprintf("MissClass(%d)", int(c))
+	}
+}
+
+// Miss describes one deadline miss in detail: which job, by how much, and
+// why. A job that never completed has Remaining > 0 and CompletedAt = 0;
+// a late completion has Lateness = CompletedAt − Deadline > 0.
+type Miss struct {
+	// TaskID identifies the missing job.
+	TaskID int
+	// Deadline is the job's deadline.
+	Deadline float64
+	// CompletedAt is the completion time, or 0 if the job never completed.
+	CompletedAt float64
+	// Lateness is CompletedAt − Deadline for late completions (≤ 0 for
+	// averted misses that met the deadline).
+	Lateness float64
+	// Remaining is the workload (cycles) left unexecuted, 0 if completed.
+	Remaining float64
+	// Class attributes the miss.
+	Class MissClass
+}
+
+// String implements fmt.Stringer.
+func (m Miss) String() string {
+	if m.Remaining > 0 {
+		return fmt.Sprintf("task %d: %s, %g cycles undelivered at deadline %g", m.TaskID, m.Class, m.Remaining, m.Deadline)
+	}
+	return fmt.Sprintf("task %d: %s, completed %+gs relative to deadline %g", m.TaskID, m.Class, m.Lateness, m.Deadline)
+}

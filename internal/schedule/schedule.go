@@ -133,6 +133,34 @@ func (s *Schedule) Normalize() {
 	}
 }
 
+// Coalesce merges abutting equal-speed segments of the same task on each
+// core. The resilient replay executes plans in checkpointed slices; after
+// a fault-free replay coalescing restores the exact planned segment list,
+// and after a faulty one it keeps the output compact. The schedule must be
+// normalized (sorted) first.
+func (s *Schedule) Coalesce() {
+	for c := range s.Cores {
+		segs := s.Cores[c]
+		if len(segs) < 2 {
+			continue
+		}
+		out := segs[:1]
+		for _, sg := range segs[1:] {
+			last := &out[len(out)-1]
+			if sg.TaskID == last.TaskID &&
+				sg.Start <= last.End+Tol &&
+				math.Abs(sg.Speed-last.Speed) <= Tol*math.Max(1, last.Speed) {
+				if sg.End > last.End {
+					last.End = sg.End
+				}
+				continue
+			}
+			out = append(out, sg)
+		}
+		s.Cores[c] = out
+	}
+}
+
 // ValidateOptions tunes schedule validation.
 type ValidateOptions struct {
 	// NonPreemptive additionally requires each task to occupy a single
@@ -174,7 +202,7 @@ func (s *Schedule) Validate(tasks task.Set, opts ValidateOptions) error {
 				return fmt.Errorf("core %d segment %d: negative speed %g", c, i, sg.Speed)
 			}
 			if opts.SpeedMax > 0 && sg.Speed > opts.SpeedMax*(1+Tol)+Tol {
-				return fmt.Errorf("core %d segment %d: speed %g exceeds cap %g", c, i, sg.Speed, opts.SpeedMax)
+				return fmt.Errorf("core %d segment %d: speed %g exceeds cap %g: %w", c, i, sg.Speed, opts.SpeedMax, ErrSpeedCap)
 			}
 			t, ok := byID[sg.TaskID]
 			if !ok {
@@ -184,7 +212,7 @@ func (s *Schedule) Validate(tasks task.Set, opts ValidateOptions) error {
 				return fmt.Errorf("task %d starts at %g before release %g", t.ID, sg.Start, t.Release)
 			}
 			if sg.End > t.Deadline+Tol {
-				return fmt.Errorf("task %d runs until %g past deadline %g", t.ID, sg.End, t.Deadline)
+				return fmt.Errorf("task %d runs until %g past deadline %g: %w", t.ID, sg.End, t.Deadline, ErrDeadlineMiss)
 			}
 			if prev, seen := taskCores[sg.TaskID]; seen && prev != c {
 				return fmt.Errorf("task %d migrates from core %d to core %d", sg.TaskID, prev, c)
@@ -201,7 +229,7 @@ func (s *Schedule) Validate(tasks task.Set, opts ValidateOptions) error {
 		// Cycle tolerance scales with workload magnitude.
 		tol := Tol * math.Max(1, t.Workload)
 		if math.Abs(got-t.Workload) > tol*10 {
-			return fmt.Errorf("task %d delivered %g cycles, want %g", t.ID, got, t.Workload)
+			return fmt.Errorf("task %d delivered %g cycles, want %g: %w", t.ID, got, t.Workload, ErrInfeasible)
 		}
 		if opts.NonPreemptive && taskSegs[t.ID] > 1 {
 			// A task may be recorded as several abutting equal-speed

@@ -40,14 +40,22 @@ type Job struct {
 	missed bool
 }
 
+// SpeedLimiter models an execution-time speed perturbation (e.g. thermal
+// throttling): given the commanded segment it returns the speed the core
+// actually achieves. The limiter may assume the commanded speed is
+// constant over [t0, t1]; callers that need sub-segment resolution split
+// segments at perturbation boundaries before calling Run.
+type SpeedLimiter func(core int, t0, t1, speed float64) float64
+
 // Pool tracks all jobs of an online run.
 type Pool struct {
-	sys   power.System
-	tasks task.Set
-	jobs  map[int]*Job
-	order []int // task IDs sorted by (release, deadline, ID)
-	sched *schedule.Schedule
-	now   float64
+	sys     power.System
+	tasks   task.Set
+	jobs    map[int]*Job
+	order   []int // task IDs sorted by (release, deadline, ID)
+	sched   *schedule.Schedule
+	now     float64
+	limiter SpeedLimiter
 }
 
 // NewPool prepares an online run over the task set. cores is the number
@@ -93,6 +101,94 @@ func (p *Pool) Now() float64 { return p.now }
 
 // Job returns the job of the given task ID, or nil.
 func (p *Pool) Job(id int) *Job { return p.jobs[id] }
+
+// Unfinished returns the jobs not yet complete, in release order.
+func (p *Pool) Unfinished() []*Job {
+	var out []*Job
+	for _, id := range p.order {
+		if j := p.jobs[id]; !j.Done {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Slack returns the laxity of the job at time t: the time to its deadline
+// minus the time needed to finish the remaining workload at the platform's
+// maximum speed. Negative slack means the deadline is no longer reachable
+// even by racing. An unbounded platform (SpeedMax = 0) has no workload
+// term. Unknown or completed jobs have +Inf slack.
+func (p *Pool) Slack(id int, t float64) float64 {
+	j, ok := p.jobs[id]
+	if !ok || j.Done {
+		return math.Inf(1)
+	}
+	slack := j.Task.Deadline - t
+	if p.sys.Core.SpeedMax > 0 {
+		slack -= j.Remaining / p.sys.Core.SpeedMax
+	}
+	return slack
+}
+
+// ScaleWorkload multiplies the job's remaining workload by factor — the
+// fault-injection hook for WCET misestimation (overrun for factor > 1,
+// underrun below). It must be applied before the job executes.
+func (p *Pool) ScaleWorkload(id int, factor float64) error {
+	j, ok := p.jobs[id]
+	switch {
+	case !ok:
+		return fmt.Errorf("sim: unknown task %d", id)
+	case factor < 0 || math.IsNaN(factor) || math.IsInf(factor, 0):
+		return fmt.Errorf("sim: bad workload factor %g for task %d", factor, id)
+	}
+	j.Remaining *= factor
+	j.Done = numeric.IsZero(j.Remaining, 0)
+	return nil
+}
+
+// DelayRelease postpones the job's effective release by dt ≥ 0 — the
+// fault-injection hook for late arrivals. The deadline is unchanged;
+// Released and Run honour the delayed release.
+func (p *Pool) DelayRelease(id int, dt float64) error {
+	j, ok := p.jobs[id]
+	switch {
+	case !ok:
+		return fmt.Errorf("sim: unknown task %d", id)
+	case dt < 0 || math.IsNaN(dt) || math.IsInf(dt, 0):
+		return fmt.Errorf("sim: bad release delay %g for task %d", dt, id)
+	}
+	j.Task.Release += dt
+	for i := range p.tasks {
+		if p.tasks[i].ID == id {
+			p.tasks[i].Release = j.Task.Release
+		}
+	}
+	return nil
+}
+
+// SetSpeedLimiter installs an execution-time speed perturbation applied to
+// every subsequent Run. A nil limiter removes it.
+func (p *Pool) SetSpeedLimiter(f SpeedLimiter) { p.limiter = f }
+
+// SetHorizon overrides the audit horizon of the assembled schedule. A
+// replay of an existing schedule uses this so idle and sleep intervals are
+// accounted over the same span as the input. End may still grow if
+// execution runs past it.
+func (p *Pool) SetHorizon(start, end float64) {
+	if end > start {
+		p.sched.Start, p.sched.End = start, end
+		if start > p.now {
+			p.now = start
+		}
+	}
+}
+
+// SetPolicies sets the sleep policies the final audit uses, so a replay
+// is accounted under the same conventions as the schedule it replays.
+func (p *Pool) SetPolicies(core, mem schedule.SleepPolicy) {
+	p.sched.CorePolicy = core
+	p.sched.MemoryPolicy = mem
+}
 
 // ArrivalTimes returns the distinct release times in increasing order.
 func (p *Pool) ArrivalTimes() []float64 {
@@ -148,10 +244,20 @@ func (p *Pool) Run(taskID, core int, t0, t1, speed float64) (float64, error) {
 	if p.sys.Core.SpeedMax > 0 && speed > p.sys.Core.SpeedMax {
 		speed = p.sys.Core.SpeedMax // silently cap: the miss detector judges the result
 	}
+	if p.limiter != nil {
+		if eff := p.limiter(core, t0, t1, speed); eff > 0 && eff < speed {
+			speed = eff // the achieved speed is what the audit charges
+		}
+	}
 	j.Core = core
 	work := speed * (t1 - t0)
 	if work >= j.Remaining-workTol*math.Max(1, j.Task.Workload) {
-		t1 = t0 + j.Remaining/speed
+		// Keep the caller's end time when it already is the exact
+		// completion point up to Tol, so replaying a planned segment
+		// reproduces it bit-for-bit; otherwise shorten to the completion.
+		if exact := t0 + j.Remaining/speed; math.Abs(exact-t1) > schedule.Tol {
+			t1 = exact
+		}
 		work = j.Remaining
 		j.Done = true
 		j.Completed = t1
@@ -186,6 +292,10 @@ type Result struct {
 	Schedule *schedule.Schedule
 	// Misses lists task IDs that completed late or never completed.
 	Misses []int
+	// MissDetails describes each miss: lateness for late completions,
+	// undelivered cycles for jobs that never finished. The executor that
+	// produced the run classifies them (planned vs fault-induced).
+	MissDetails []schedule.Miss
 	// Energy is the audited total under the schedule's sleep policies.
 	Energy float64
 	// Breakdown itemizes the audit.
@@ -199,10 +309,19 @@ type Result struct {
 func (p *Pool) Finish() (*Result, error) {
 	p.sched.Normalize()
 	var misses []int
+	var details []schedule.Miss
 	for _, id := range p.order {
 		j := p.jobs[id]
 		if !j.Done || j.missed {
 			misses = append(misses, id)
+			m := schedule.Miss{TaskID: id, Deadline: j.Task.Deadline}
+			if j.Done {
+				m.CompletedAt = j.Completed
+				m.Lateness = j.Completed - j.Task.Deadline
+			} else {
+				m.Remaining = j.Remaining
+			}
+			details = append(details, m)
 		}
 	}
 	// Extend the horizon if execution ran past the last deadline (only
@@ -228,27 +347,29 @@ func (p *Pool) Finish() (*Result, error) {
 	}
 	b := schedule.Audit(p.sched, p.sys)
 	return &Result{
-		Schedule:  p.sched,
-		Misses:    misses,
-		Energy:    b.Total(),
-		Breakdown: b,
-		Metrics:   m,
+		Schedule:    p.sched,
+		Misses:      misses,
+		MissDetails: details,
+		Energy:      b.Total(),
+		Breakdown:   b,
+		Metrics:     m,
 	}, nil
 }
 
 // Reaudit recomputes a result's energy under different sleep policies,
 // returning a copy. Use it to account one schedule under the MBKP
 // (never-sleep) and MBKPS (always-sleep) conventions.
-func (r *Result) Reaudit(sys power.System, corePolicy, memPolicy schedule.SleepPolicy) *Result {
+func (r *Result) Reaudit(sys power.System, corePolicy, memPolicy schedule.SleepPolicy) *Result { //lint:allow auditcheck: clones an already-normalized schedule for reaccounting
 	clone := *r.Schedule
 	clone.CorePolicy = corePolicy
 	clone.MemoryPolicy = memPolicy
 	b := schedule.Audit(&clone, sys)
 	return &Result{
-		Schedule:  &clone,
-		Misses:    r.Misses,
-		Energy:    b.Total(),
-		Breakdown: b,
-		Metrics:   r.Metrics,
+		Schedule:    &clone,
+		Misses:      r.Misses,
+		MissDetails: r.MissDetails,
+		Energy:      b.Total(),
+		Breakdown:   b,
+		Metrics:     r.Metrics,
 	}
 }

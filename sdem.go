@@ -28,10 +28,12 @@ import (
 	"sdem/internal/commonrelease"
 	"sdem/internal/core"
 	"sdem/internal/discrete"
+	"sdem/internal/faults"
 	"sdem/internal/online"
 	"sdem/internal/partition"
 	"sdem/internal/periodic"
 	"sdem/internal/power"
+	"sdem/internal/resilient"
 	"sdem/internal/schedule"
 	"sdem/internal/sim"
 	"sdem/internal/task"
@@ -232,7 +234,7 @@ func Quantize(s *Schedule, ladder Ladder) (*Schedule, error) {
 // SolveHeterogeneous solves the §4.2 common-release problem when each
 // task's core has its own power model (the heterogeneous-core extension
 // noted at the end of §4). cores[i] is task i's core; all must share λ.
-func SolveHeterogeneous(tasks TaskSet, cores []Core, mem Memory) (*Solution, error) {
+func SolveHeterogeneous(tasks TaskSet, cores []Core, mem Memory) (*Solution, error) { //lint:allow auditcheck: wraps the hetero solver's already-normalized schedule
 	sol, err := commonrelease.SolveHetero(tasks, cores, mem)
 	if err != nil {
 		return nil, err
@@ -249,6 +251,91 @@ func SolveHeterogeneous(tasks TaskSet, cores []Core, mem Memory) (*Solution, err
 // model of core i.
 func AuditPerCore(s *Schedule, cores []Core, mem Memory) EnergyBreakdown {
 	return schedule.AuditPerCore(s, cores, mem)
+}
+
+// Sentinel errors shared across the solvers and the resilient runtime.
+// Branch on them with errors.Is; the original messages are preserved as
+// wrapping context.
+var (
+	// ErrInfeasible marks instances no schedule can satisfy (or
+	// structurally broken inputs).
+	ErrInfeasible = schedule.ErrInfeasible
+	// ErrDeadlineMiss marks schedules that run work past its deadline.
+	ErrDeadlineMiss = schedule.ErrDeadlineMiss
+	// ErrSpeedCap marks schedules commanding speeds beyond s_up.
+	ErrSpeedCap = schedule.ErrSpeedCap
+)
+
+// Fault injection and graceful degradation.
+type (
+	// Fault is one typed deviation from the plan (overrun, wake latency,
+	// speed cap, spurious wake, late release).
+	Fault = faults.Fault
+	// FaultKind classifies a Fault.
+	FaultKind = faults.Kind
+	// FaultPlan is a replayable set of faults.
+	FaultPlan = faults.Plan
+	// FaultConfig tunes GenerateFaults.
+	FaultConfig = faults.Config
+	// RecoveryPolicy selects the recovery actions the resilient runtime
+	// may take.
+	RecoveryPolicy = resilient.Policy
+	// RecoveryAction names one recovery chain step.
+	RecoveryAction = resilient.Action
+	// Recovery is one logged recovery attempt.
+	Recovery = resilient.Recovery
+	// RecoveryLog is the recovery audit trail of a run.
+	RecoveryLog = resilient.RecoveryLog
+	// ExecuteResult is the outcome of a fault-perturbed replay.
+	ExecuteResult = resilient.Result
+	// Miss describes one deadline miss (who, by how much, and why).
+	Miss = schedule.Miss
+	// MissClass attributes a miss (planned / fault-induced / averted).
+	MissClass = schedule.MissClass
+)
+
+// Fault kind constants.
+const (
+	FaultOverrun      = faults.Overrun
+	FaultWakeLatency  = faults.WakeLatency
+	FaultSpeedCap     = faults.SpeedCap
+	FaultSpuriousWake = faults.SpuriousWake
+	FaultLateRelease  = faults.LateRelease
+)
+
+// Recovery action constants.
+const (
+	RecoveryBoost  = resilient.ActionBoost
+	RecoveryReplan = resilient.ActionReplan
+	RecoveryRace   = resilient.ActionRace
+)
+
+// Miss classification constants.
+const (
+	MissPlanned      = schedule.MissPlanned
+	MissFaultInduced = schedule.MissFaultInduced
+	MissAverted      = schedule.MissAverted
+)
+
+// DefaultRecovery enables the full recovery chain (boost, re-plan, race);
+// NoRecovery disables all recovery for baseline fault replays.
+func DefaultRecovery() RecoveryPolicy { return resilient.DefaultPolicy() }
+func NoRecovery() RecoveryPolicy      { return resilient.NoRecovery() }
+
+// GenerateFaults draws a fault plan for the task set, deterministic in
+// the seed (the replayability guarantee Execute builds on).
+func GenerateFaults(cfg FaultConfig, tasks TaskSet, sys System, seed int64) FaultPlan {
+	return faults.Generate(cfg, tasks, sys, seed)
+}
+
+// Execute replays a schedule through a fault-perturbed execution with
+// graceful degradation: impending misses are detected at checkpoint
+// boundaries and countered by the recovery chain the policy enables
+// (local speed boost, §4 re-plan, race to idle), every action logged.
+// With an empty fault plan the replay reproduces the input schedule
+// exactly.
+func Execute(sched *Schedule, tasks TaskSet, sys System, plan FaultPlan, pol RecoveryPolicy) (*ExecuteResult, error) {
+	return resilient.Execute(sched, tasks, sys, plan, pol)
 }
 
 // SyntheticWorkload draws the paper's §8.1.2 random task set.
