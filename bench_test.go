@@ -89,7 +89,33 @@ func BenchmarkFig7b(b *testing.B) {
 // BenchmarkTable3 regenerates the Table 3 overhead-case demonstration.
 func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table3(); err != nil {
+		if _, err := (experiments.Config{}).Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSequential regenerates the reduced-scale Fig. 6b sweep on
+// the historical one-worker path — the baseline BenchmarkSweepParallel's
+// speedup is measured against. Both run the identical grid and produce
+// identical output; only the pool width differs.
+func BenchmarkSweepSequential(b *testing.B) {
+	cfg := experiments.Config{Seeds: 2, Tasks: 25, Workers: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Fig6b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel runs the same reduced grid on a 4-worker pool.
+// On a multi-core machine the sweep is embarrassingly parallel per grid
+// point, so ns/op should approach a quarter of BenchmarkSweepSequential;
+// the ratio of the two is the repo's recorded sweep-engine speedup.
+func BenchmarkSweepParallel(b *testing.B) {
+	cfg := experiments.Config{Seeds: 2, Tasks: 25, Workers: 4}
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Fig6b(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -19,19 +19,22 @@ import (
 	"strings"
 
 	"sdem/internal/experiments"
+	"sdem/internal/parallel"
 	"sdem/internal/stats"
 )
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "experiment: fig6a|fig6b|fig6ext|fig7a|fig7b|table3|ablation|ablation-procrastinate|ablation-switch|ablation-discrete|all")
-		seeds = flag.Int("seeds", 10, "random cases per data point (§8.2 uses 10)")
-		tasks = flag.Int("tasks", 60, "task instances per run")
-		cores = flag.Int("cores", 8, "platform cores")
-		csv   = flag.String("csv", "", "also append figure series as CSV to this file")
+		run     = flag.String("run", "all", "experiment: fig6a|fig6b|fig6ext|fig7a|fig7b|table3|ablation|ablation-procrastinate|ablation-switch|ablation-discrete|all")
+		seeds   = flag.Int("seeds", 10, "random cases per data point (§8.2 uses 10)")
+		tasks   = flag.Int("tasks", 60, "task instances per run")
+		cores   = flag.Int("cores", 8, "platform cores")
+		workers = flag.Int("workers", parallel.DefaultWorkers(), "sweep worker pool size (1 = sequential; output is identical at any width)")
+		seed    = flag.Int64("seed", 1, "campaign base seed; per-point workload seeds derive from it via stats.DeriveSeed")
+		csv     = flag.String("csv", "", "also append figure series as CSV to this file")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Seeds: *seeds, Tasks: *tasks, Cores: *cores}
+	cfg := experiments.Config{Seeds: *seeds, Tasks: *tasks, Cores: *cores, Workers: *workers, Seed: *seed}
 	names := strings.Split(*run, ",")
 	if *run == "all" {
 		names = []string{"fig6a", "fig6b", "fig7a", "fig7b", "table3", "ablation", "ablation-procrastinate", "ablation-switch", "ablation-discrete", "fig6ext"}
@@ -117,7 +120,7 @@ func dispatch(cfg experiments.Config, name, csvPath string) error {
 		fmt.Printf("FIG7B AVERAGE improvement of SDEM-ON over MBKPS: %s (paper: 10.52%%)\n\n",
 			stats.Percent(experiments.AvgImprovement(s)))
 	case "table3":
-		rows, err := experiments.Table3()
+		rows, err := cfg.Table3()
 		if err != nil {
 			return err
 		}

@@ -10,8 +10,10 @@
 //	faultsim -n 12 -seed 7 -intensity 0.6 -trials 20
 //
 // The sweep is deterministic in its seeds: the same invocation always
-// prints the same table. -out writes the sweep as a versioned JSON
-// document (kind "fault-sweep") via the library's interchange format.
+// prints the same table, at any -workers width (trials run on a bounded
+// worker pool with coordinate-derived plan seeds). -out writes the sweep
+// as a versioned JSON document (kind "fault-sweep") via the library's
+// interchange format.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 
 	"sdem/internal/encode"
 	"sdem/internal/experiments"
+	"sdem/internal/parallel"
 )
 
 func main() {
@@ -31,22 +34,24 @@ func main() {
 		trials    = flag.Int("trials", 5, "fault seeds per intensity")
 		intensity = flag.Float64("intensity", 0.5, "single fault intensity when no -sweep preset is given")
 		wakeMax   = flag.Float64("wakemax", 0.01, "wake-latency ceiling as a multiple of xi_m")
+		workers   = flag.Int("workers", parallel.DefaultWorkers(), "trial worker pool size (1 = sequential; output is identical at any width)")
 		out       = flag.String("out", "", "write the sweep as JSON to this file")
 	)
 	flag.Parse()
-	if err := run(*sweep, *n, *seed, *trials, *intensity, *wakeMax, *out); err != nil {
+	if err := run(*sweep, *n, *seed, *trials, *intensity, *wakeMax, *workers, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "faultsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sweep string, n int, seed int64, trials int, intensity, wakeMax float64, out string) error {
+func run(sweep string, n int, seed int64, trials int, intensity, wakeMax float64, workers int, out string) error {
 	cfg := experiments.FaultConfig{
 		N:            n,
 		Trials:       trials,
 		Seed:         seed,
 		WakeDelayMax: wakeMax,
 		Intensities:  []float64{intensity},
+		Workers:      workers,
 	}
 	switch sweep {
 	case "quick":

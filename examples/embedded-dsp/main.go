@@ -18,7 +18,7 @@ func main() {
 	// First, run the kernels for real: this is what the cycle model is
 	// calibrated against (the stand-in for the xsim2101 DSP simulator).
 	cm := dsp.DefaultCostModel()
-	r := rand.New(rand.NewSource(42))
+	r := rand.New(rand.NewSource(42)) //lint:allow randsource: fixed demo seed, not a sweep grid point
 
 	signal := make([]complex128, 1024)
 	for i := range signal {

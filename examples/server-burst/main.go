@@ -39,7 +39,7 @@ func burstyWorkload(r *rand.Rand, bursts, perBurst int, gap float64) sdem.TaskSe
 
 func main() {
 	sys := sdem.DefaultSystem()
-	r := rand.New(rand.NewSource(11))
+	r := rand.New(rand.NewSource(11)) //lint:allow randsource: fixed demo seed, not a sweep grid point
 	tasks := burstyWorkload(r, 4, 5, sdem.Milliseconds(300))
 	fmt.Printf("bursty workload: %d requests in 4 bursts, model %v\n\n", len(tasks), tasks.Classify())
 

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sdem/internal/stats"
+	"sdem/internal/workload"
+)
+
+// TestSweepParallelMatchesSequential is the engine's core guarantee: for
+// every figure, table and ablation, a 4-worker pool produces output
+// deep-equal to the Workers == 1 sequential path, and re-running the same
+// config reproduces it exactly.
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	seq := Config{Seeds: 2, Tasks: 15, Workers: 1}
+	par := seq
+	par.Workers = 4
+	runners := []struct {
+		name string
+		run  func(Config) (any, error)
+	}{
+		{"fig6a", func(c Config) (any, error) { return c.Fig6a() }},
+		{"fig6b", func(c Config) (any, error) { return c.Fig6b() }},
+		{"fig6ext", func(c Config) (any, error) { return c.Fig6Extended() }},
+		{"fig7a", func(c Config) (any, error) { return c.Fig7a() }},
+		{"fig7b", func(c Config) (any, error) { return c.Fig7b() }},
+		{"table3", func(c Config) (any, error) { return c.Table3() }},
+		{"ablation", func(c Config) (any, error) { return c.Ablation() }},
+		{"ablation-procrastinate", func(c Config) (any, error) { return c.AblationProcrastination() }},
+		{"ablation-switch", func(c Config) (any, error) { return c.AblationSwitchOverhead() }},
+		{"ablation-discrete", func(c Config) (any, error) { return c.AblationDiscrete() }},
+	}
+	for _, r := range runners {
+		r := r
+		t.Run(r.name, func(t *testing.T) {
+			t.Parallel()
+			a, err := r.run(seq)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			b, err := r.run(par)
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("workers=4 output diverges from workers=1:\n%+v\n%+v", a, b)
+			}
+			c2, err := r.run(par)
+			if err != nil {
+				t.Fatalf("parallel rerun: %v", err)
+			}
+			if !reflect.DeepEqual(b, c2) {
+				t.Fatalf("two identical parallel runs differ:\n%+v\n%+v", b, c2)
+			}
+		})
+	}
+}
+
+// TestFaultSweepParallelMatchesSequential extends the same guarantee to
+// the fault-injection sweep.
+func TestFaultSweepParallelMatchesSequential(t *testing.T) {
+	seq := FaultConfig{N: 6, Trials: 3, Intensities: []float64{0.25, 0.5}, Workers: 1}
+	par := seq
+	par.Workers = 4
+	a, err := FaultSweep(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultSweep(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("workers=4 fault sweep diverges from workers=1:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestCampaignSeedsCollisionFree enumerates the workload/plan seed of
+// every grid point of the full Table 4 campaign — all figures, all
+// ablations, the fault sweep — and asserts they are pairwise distinct.
+// The ad-hoc linear mixes this replaced (seed*7919+int64(u), ...) could
+// collide across grid points and truncated float coordinates; a
+// collision silently reuses "independent" random cases.
+func TestCampaignSeedsCollisionFree(t *testing.T) {
+	c := Config{}.withDefaults() // Seeds = 10, the §8.2 protocol
+	seen := make(map[int64]string)
+	add := func(seed int64, format string, args ...any) {
+		t.Helper()
+		desc := fmt.Sprintf(format, args...)
+		if prev, ok := seen[seed]; ok {
+			t.Fatalf("seed collision between %s and %s (seed %d)", prev, desc, seed)
+		}
+		seen[seed] = desc
+	}
+
+	// Fig 6a/6b + extension: one stream per (kernel, U, case). The two
+	// Fig 6 metrics intentionally share workloads, so one enumeration.
+	kernels := []workload.Kernel{workload.KernelFFT, workload.KernelMatMul, workload.KernelFIR, workload.KernelIIR}
+	for _, kernel := range kernels {
+		for _, u := range Table4.U {
+			for s := 0; s < c.Seeds; s++ {
+				add(c.benchmarkSeed(kernel, u, s), "fig6 %v U=%g case %d", kernel, u, s)
+			}
+		}
+	}
+	// Fig 7a: (α_m, x, case).
+	for _, am := range Table4.AlphaM {
+		for _, x := range Table4.X {
+			for s := 0; s < c.Seeds; s++ {
+				add(stats.DeriveSeed(c.Seed, domainFig7a, stats.FloatDim(am), stats.FloatDim(x), uint64(s)),
+					"fig7a alpha_m=%g x=%g case %d", am, x, s)
+			}
+		}
+	}
+	// Fig 7b: (ξ_m, x, case).
+	for _, xim := range Table4.XiM {
+		for _, x := range Table4.X {
+			for s := 0; s < c.Seeds; s++ {
+				add(stats.DeriveSeed(c.Seed, domainFig7b, stats.FloatDim(xim), stats.FloatDim(x), uint64(s)),
+					"fig7b xi_m=%g x=%g case %d", xim, x, s)
+			}
+		}
+	}
+	// Ablations over the x sweep.
+	for _, dom := range []struct {
+		tag  uint64
+		name string
+	}{{domainAblation, "ablation"}, {domainProcrastinate, "procrastinate"}} {
+		for _, x := range Table4.X {
+			for s := 0; s < c.Seeds; s++ {
+				add(stats.DeriveSeed(c.Seed, dom.tag, stats.FloatDim(x), uint64(s)), "%s x=%g case %d", dom.name, x, s)
+			}
+		}
+	}
+	// Per-case ablations (switch shares workloads across costs by design,
+	// discrete across ladders — one stream per case each).
+	for s := 0; s < c.Seeds; s++ {
+		add(stats.DeriveSeed(c.Seed, domainSwitch, uint64(s)), "switch case %d", s)
+		add(stats.DeriveSeed(c.Seed, domainDiscrete, uint64(s)), "discrete case %d", s)
+	}
+	// Fault sweep plan seeds over the full preset.
+	fc := FaultConfig{Intensities: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}, Trials: 10}.withDefaults()
+	for _, in := range fc.Intensities {
+		for trial := 0; trial < fc.Trials; trial++ {
+			add(stats.DeriveSeed(fc.Seed, domainFaultSweep, stats.FloatDim(in), uint64(trial)),
+				"fault intensity=%g trial %d", in, trial)
+		}
+	}
+
+	want := len(kernels)*len(Table4.U)*c.Seeds +
+		len(Table4.AlphaM)*len(Table4.X)*c.Seeds +
+		len(Table4.XiM)*len(Table4.X)*c.Seeds +
+		2*len(Table4.X)*c.Seeds +
+		2*c.Seeds +
+		len(fc.Intensities)*fc.Trials
+	if len(seen) != want {
+		t.Fatalf("enumerated %d distinct seeds, want %d", len(seen), want)
+	}
+}
+
+// TestWorkersDefaulting pins the Workers contract: zero takes the CPU
+// default, explicit values are preserved.
+func TestWorkersDefaulting(t *testing.T) {
+	if w := (Config{}).withDefaults().Workers; w < 1 {
+		t.Fatalf("default Workers = %d", w)
+	}
+	if w := (Config{Workers: 3}).withDefaults().Workers; w != 3 {
+		t.Fatalf("explicit Workers clobbered: %d", w)
+	}
+	if w := (FaultConfig{}).withDefaults().Workers; w < 1 {
+		t.Fatalf("default FaultConfig.Workers = %d", w)
+	}
+}

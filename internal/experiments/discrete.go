@@ -46,22 +46,26 @@ func (c Config) AblationDiscrete() ([]DiscretePoint, error) {
 		cases = append(cases, ladderCase{n, l})
 	}
 
-	// One schedule per seed, quantized onto every ladder.
+	// One schedule per random case (solved on the worker pool), quantized
+	// onto every ladder.
 	type run struct {
 		sched *schedule.Schedule
 		base  float64
 	}
-	var runs []run
-	for s := 0; s < c.Seeds; s++ {
-		tasks, err := workload.Synthetic(workload.SyntheticConfig{N: c.Tasks}, int64(s)*29+5)
+	runs, err := runGrid(c, c.Seeds, func(s int) (run, error) {
+		seed := stats.DeriveSeed(c.Seed, domainDiscrete, uint64(s))
+		tasks, err := workload.Synthetic(workload.SyntheticConfig{N: c.Tasks}, seed)
 		if err != nil {
-			return nil, err
+			return run{}, err
 		}
 		res, err := online.Schedule(tasks, sys, online.Options{Cores: c.Cores})
 		if err != nil {
-			return nil, err
+			return run{}, err
 		}
-		runs = append(runs, run{res.Schedule, res.Energy})
+		return run{res.Schedule, res.Energy}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	var out []DiscretePoint

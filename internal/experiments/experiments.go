@@ -7,15 +7,24 @@
 // Each data point averages ten random cases (§8.2) and reports energy
 // savings relative to MBKP, the memory-oblivious baseline:
 // saving(X) = (E_MBKP − E_X)/E_MBKP.
+//
+// Sweeps run on the internal/parallel worker pool: grid points are
+// independent per-configuration solves, every point's workload seed is
+// derived from its coordinates via stats.DeriveSeed (never from
+// execution order), and results are collected in index order — so any
+// worker count, including the Workers == 1 sequential path, produces
+// identical output.
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sdem/internal/baseline"
 	"sdem/internal/cacti"
 	"sdem/internal/numeric"
 	"sdem/internal/online"
+	"sdem/internal/parallel"
 	"sdem/internal/power"
 	"sdem/internal/sim"
 	"sdem/internal/stats"
@@ -45,6 +54,20 @@ func msGrid(vals ...float64) []float64 {
 	return out
 }
 
+// Seed-domain tags keep the derived RNG streams of the experiment
+// families disjoint even where their numeric coordinates coincide (e.g.
+// Fig. 7a and 7b share the x grid).
+const (
+	domainFig6 uint64 = iota + 1
+	domainFig7a
+	domainFig7b
+	domainAblation
+	domainProcrastinate
+	domainSwitch
+	domainDiscrete
+	domainFaultSweep
+)
+
 // Config tunes an experiment campaign.
 type Config struct {
 	// Seeds is the number of random cases per data point (default 10,
@@ -57,6 +80,14 @@ type Config struct {
 	// CoreBreakEven is the core transition break-even time ξ. The paper
 	// gives no value; 1 ms is assumed and documented in EXPERIMENTS.md.
 	CoreBreakEven float64
+	// Workers bounds the sweep engine's worker pool (default
+	// runtime.GOMAXPROCS; 1 forces the historical sequential path). Any
+	// value yields identical output — see the package comment.
+	Workers int
+	// Seed is the campaign base seed; every grid point's workload seed
+	// is derived from it and the point's coordinates via
+	// stats.DeriveSeed (default 1).
+	Seed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -72,7 +103,21 @@ func (c Config) withDefaults() Config {
 	if numeric.IsZero(c.CoreBreakEven, 0) {
 		c.CoreBreakEven = power.Milliseconds(1)
 	}
+	if c.Workers <= 0 {
+		c.Workers = parallel.DefaultWorkers()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
 	return c
+}
+
+// runGrid evaluates one grid of independent sweep points on the
+// configured worker pool, preserving index order.
+func runGrid[T any](c Config, n int, fn func(i int) (T, error)) ([]T, error) {
+	return parallel.Map(context.Background(), c.Workers, n, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	})
 }
 
 // system builds the platform for given memory parameters.
@@ -147,12 +192,15 @@ func memoryEnergy(r *sim.Result) float64 {
 	return r.Breakdown.MemoryStatic + r.Breakdown.MemoryTransition
 }
 
-// sweepPoint averages one data point across seeds.
-func (c Config) sweepPoint(x float64, gen func(seed int64) (task.Set, error), sys power.System, m metric) (Point, error) {
+// sweepPoint averages one data point across random cases. gen receives
+// the case index; callers derive the workload seed from it and the grid
+// coordinates (stats.DeriveSeed), keeping the point a pure function of
+// its coordinates.
+func (c Config) sweepPoint(x float64, gen func(caseIdx int) (task.Set, error), sys power.System, m metric) (Point, error) {
 	var sdem, sdemZ, mbkps, impr, imprZ []float64
 	misses := 0
 	for s := 0; s < c.Seeds; s++ {
-		tasks, err := gen(int64(s + 1))
+		tasks, err := gen(s)
 		if err != nil {
 			return Point{}, err
 		}
@@ -180,6 +228,11 @@ func (c Config) sweepPoint(x float64, gen func(seed int64) (task.Set, error), sy
 	}, nil
 }
 
+// benchmarkSeed derives the workload seed of one Fig. 6 grid point.
+func (c Config) benchmarkSeed(kernel workload.Kernel, u float64, caseIdx int) int64 {
+	return stats.DeriveSeed(c.Seed, domainFig6, uint64(kernel), stats.FloatDim(u), uint64(caseIdx))
+}
+
 // Fig6a reproduces Fig. 6a: memory static energy saving of SDEM-ON and
 // MBKPS versus MBKP over U ∈ [2..9], for the FFT and matrix-multiply
 // benchmarks at the default α_m = 4 W, ξ_m = 40 ms.
@@ -204,21 +257,25 @@ func (c Config) Fig6Extended() ([]Series, error) {
 func (c Config) fig6Kernels(m metric, name string, kernels []workload.Kernel) ([]Series, error) {
 	c = c.withDefaults()
 	sys := c.system(4, power.Milliseconds(40))
-	var out []Series
-	for _, kernel := range kernels {
-		s := Series{Name: fmt.Sprintf("%s/%s", name, kernel), XLabel: "U"}
-		for _, u := range Table4.U {
-			u := u
-			kernel := kernel
-			pt, err := c.sweepPoint(u, func(seed int64) (task.Set, error) {
-				return workload.Benchmark(workload.BenchmarkConfig{N: c.Tasks, Kernel: kernel, U: u}, seed*7919+int64(u))
-			}, sys, m)
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, pt)
+	nu := len(Table4.U)
+	pts, err := runGrid(c, len(kernels)*nu, func(i int) (Point, error) {
+		kernel, u := kernels[i/nu], Table4.U[i%nu]
+		return c.sweepPoint(u, func(caseIdx int) (task.Set, error) {
+			return workload.Benchmark(
+				workload.BenchmarkConfig{N: c.Tasks, Kernel: kernel, U: u},
+				c.benchmarkSeed(kernel, u, caseIdx))
+		}, sys, m)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Series, len(kernels))
+	for k, kernel := range kernels {
+		out[k] = Series{
+			Name:   fmt.Sprintf("%s/%s", name, kernel),
+			XLabel: "U",
+			Points: pts[k*nu : (k+1)*nu],
 		}
-		out = append(out, s)
 	}
 	return out, nil
 }
@@ -229,26 +286,33 @@ func (c Config) fig6Kernels(m metric, name string, kernels []workload.Kernel) ([
 // α_m value.
 func (c Config) Fig7a() ([]Series, error) {
 	c = c.withDefaults()
-	var out []Series
-	for _, am := range Table4.AlphaM {
+	systems := make([]power.System, len(Table4.AlphaM))
+	for i, am := range Table4.AlphaM {
 		dram, err := cacti.ForStaticPower(am)
 		if err != nil {
 			return nil, err
 		}
 		dram = dram.ScaleBreakEven(power.Milliseconds(40))
-		sys := c.system(dram.StaticPower(), dram.BreakEven())
-		s := Series{Name: fmt.Sprintf("fig7a/alpha_m=%gW", am), XLabel: "x (s)"}
-		for _, x := range Table4.X {
-			x := x
-			pt, err := c.sweepPoint(x, func(seed int64) (task.Set, error) {
-				return workload.Synthetic(workload.SyntheticConfig{N: c.Tasks, MaxInterArrival: x}, seed*104729+int64(am))
-			}, sys, systemEnergy)
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, pt)
+		systems[i] = c.system(dram.StaticPower(), dram.BreakEven())
+	}
+	nx := len(Table4.X)
+	pts, err := runGrid(c, len(Table4.AlphaM)*nx, func(i int) (Point, error) {
+		am, x := Table4.AlphaM[i/nx], Table4.X[i%nx]
+		return c.sweepPoint(x, func(caseIdx int) (task.Set, error) {
+			seed := stats.DeriveSeed(c.Seed, domainFig7a, stats.FloatDim(am), stats.FloatDim(x), uint64(caseIdx))
+			return workload.Synthetic(workload.SyntheticConfig{N: c.Tasks, MaxInterArrival: x}, seed)
+		}, systems[i/nx], systemEnergy)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Series, len(Table4.AlphaM))
+	for i, am := range Table4.AlphaM {
+		out[i] = Series{
+			Name:   fmt.Sprintf("fig7a/alpha_m=%gW", am),
+			XLabel: "x (s)",
+			Points: pts[i*nx : (i+1)*nx],
 		}
-		out = append(out, s)
 	}
 	return out, nil
 }
@@ -258,21 +322,24 @@ func (c Config) Fig7a() ([]Series, error) {
 // at 4 W). One series per ξ_m value.
 func (c Config) Fig7b() ([]Series, error) {
 	c = c.withDefaults()
-	var out []Series
-	for _, xim := range Table4.XiM {
-		sys := c.system(4, xim)
-		s := Series{Name: fmt.Sprintf("fig7b/xi_m=%gms", xim*1e3), XLabel: "x (s)"}
-		for _, x := range Table4.X {
-			x := x
-			pt, err := c.sweepPoint(x, func(seed int64) (task.Set, error) {
-				return workload.Synthetic(workload.SyntheticConfig{N: c.Tasks, MaxInterArrival: x}, seed*15485863+int64(xim*1e6))
-			}, sys, systemEnergy)
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, pt)
+	nx := len(Table4.X)
+	pts, err := runGrid(c, len(Table4.XiM)*nx, func(i int) (Point, error) {
+		xim, x := Table4.XiM[i/nx], Table4.X[i%nx]
+		return c.sweepPoint(x, func(caseIdx int) (task.Set, error) {
+			seed := stats.DeriveSeed(c.Seed, domainFig7b, stats.FloatDim(xim), stats.FloatDim(x), uint64(caseIdx))
+			return workload.Synthetic(workload.SyntheticConfig{N: c.Tasks, MaxInterArrival: x}, seed)
+		}, c.system(4, xim), systemEnergy)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Series, len(Table4.XiM))
+	for i, xim := range Table4.XiM {
+		out[i] = Series{
+			Name:   fmt.Sprintf("fig7b/xi_m=%gms", xim*1e3),
+			XLabel: "x (s)",
+			Points: pts[i*nx : (i+1)*nx],
 		}
-		out = append(out, s)
 	}
 	return out, nil
 }
@@ -291,30 +358,31 @@ type AblationPoint struct {
 func (c Config) Ablation() ([]AblationPoint, error) {
 	c = c.withDefaults()
 	sys := c.system(4, power.Milliseconds(40))
-	var out []AblationPoint
-	for _, x := range Table4.X {
+	return runGrid(c, len(Table4.X), func(i int) (AblationPoint, error) {
+		x := Table4.X[i]
 		var race, crit, sdem []float64
 		pt := AblationPoint{X: x}
 		for s := 0; s < c.Seeds; s++ {
-			tasks, err := workload.Synthetic(workload.SyntheticConfig{N: c.Tasks, MaxInterArrival: x}, int64(s)*31+7)
+			seed := stats.DeriveSeed(c.Seed, domainAblation, stats.FloatDim(x), uint64(s))
+			tasks, err := workload.Synthetic(workload.SyntheticConfig{N: c.Tasks, MaxInterArrival: x}, seed)
 			if err != nil {
-				return nil, err
+				return AblationPoint{}, err
 			}
 			mbkp, err := baseline.MBKP(tasks, sys, c.Cores)
 			if err != nil {
-				return nil, err
+				return AblationPoint{}, err
 			}
 			r, err := baseline.RaceToIdle(tasks, sys, c.Cores)
 			if err != nil {
-				return nil, err
+				return AblationPoint{}, err
 			}
 			cr, err := baseline.CriticalSpeed(tasks, sys, c.Cores)
 			if err != nil {
-				return nil, err
+				return AblationPoint{}, err
 			}
 			sd, err := online.Schedule(tasks, sys, online.Options{Cores: c.Cores})
 			if err != nil {
-				return nil, err
+				return AblationPoint{}, err
 			}
 			race = append(race, stats.SavingRatio(mbkp.Energy, r.Energy))
 			crit = append(crit, stats.SavingRatio(mbkp.Energy, cr.Energy))
@@ -326,9 +394,8 @@ func (c Config) Ablation() ([]AblationPoint, error) {
 		pt.RaceToIdle = stats.Summarize(race)
 		pt.CriticalSpeed = stats.Summarize(crit)
 		pt.SDEMON = stats.Summarize(sdem)
-		out = append(out, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }
 
 // AblationProcrastination measures ablation A2: SDEM-ON with and without
@@ -337,26 +404,27 @@ func (c Config) Ablation() ([]AblationPoint, error) {
 func (c Config) AblationProcrastination() ([]Point, error) {
 	c = c.withDefaults()
 	sys := c.system(4, power.Milliseconds(40))
-	var out []Point
-	for _, x := range Table4.X {
+	return runGrid(c, len(Table4.X), func(i int) (Point, error) {
+		x := Table4.X[i]
 		var with, without, impr []float64
 		pt := Point{X: x}
 		for s := 0; s < c.Seeds; s++ {
-			tasks, err := workload.Synthetic(workload.SyntheticConfig{N: c.Tasks, MaxInterArrival: x}, int64(s)*53+11)
+			seed := stats.DeriveSeed(c.Seed, domainProcrastinate, stats.FloatDim(x), uint64(s))
+			tasks, err := workload.Synthetic(workload.SyntheticConfig{N: c.Tasks, MaxInterArrival: x}, seed)
 			if err != nil {
-				return nil, err
+				return Point{}, err
 			}
 			mbkp, err := baseline.MBKP(tasks, sys, c.Cores)
 			if err != nil {
-				return nil, err
+				return Point{}, err
 			}
 			a, err := online.Schedule(tasks, sys, online.Options{Cores: c.Cores})
 			if err != nil {
-				return nil, err
+				return Point{}, err
 			}
 			b, err := online.Schedule(tasks, sys, online.Options{Cores: c.Cores, NoProcrastinate: true})
 			if err != nil {
-				return nil, err
+				return Point{}, err
 			}
 			with = append(with, stats.SavingRatio(mbkp.Energy, a.Energy))
 			without = append(without, stats.SavingRatio(mbkp.Energy, b.Energy))
@@ -366,7 +434,6 @@ func (c Config) AblationProcrastination() ([]Point, error) {
 		pt.SDEMON = stats.Summarize(with)
 		pt.MBKPS = stats.Summarize(without) // reused column: no-procrastination variant
 		pt.Improvement = stats.Summarize(impr)
-		out = append(out, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }

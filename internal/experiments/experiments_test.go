@@ -164,7 +164,7 @@ func TestFig7bShapes(t *testing.T) {
 }
 
 func TestTable3Decisions(t *testing.T) {
-	rows, err := Table3()
+	rows, err := Config{}.Table3()
 	if err != nil {
 		t.Fatal(err)
 	}

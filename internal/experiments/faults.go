@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"sdem/internal/core"
 	"sdem/internal/encode"
 	"sdem/internal/faults"
+	"sdem/internal/parallel"
 	"sdem/internal/power"
 	"sdem/internal/resilient"
 	"sdem/internal/stats"
@@ -22,13 +24,18 @@ type FaultConfig struct {
 	Trials int
 	// Intensities are the generator intensities swept (default 0.25, 0.5).
 	Intensities []float64
-	// Seed is the workload seed (default 3).
+	// Seed is the workload seed; per-trial fault-plan seeds derive from
+	// it and the (intensity, trial) coordinates via stats.DeriveSeed
+	// (default 3).
 	Seed int64
 	// WakeDelayMax bounds the extra wake latency as a multiple of ξ_m
 	// (default 0.01: a full-ξ_m stall on a sub-millisecond procrastinated
 	// execution is unrecoverable by physics, not by policy, and would
 	// measure the platform rather than the recovery chain).
 	WakeDelayMax float64
+	// Workers bounds the trial worker pool (default runtime.GOMAXPROCS;
+	// 1 forces sequential execution). Any value yields identical output.
+	Workers int
 }
 
 func (c FaultConfig) withDefaults() FaultConfig {
@@ -46,6 +53,9 @@ func (c FaultConfig) withDefaults() FaultConfig {
 	}
 	if c.WakeDelayMax <= 0 {
 		c.WakeDelayMax = 0.01
+	}
+	if c.Workers <= 0 {
+		c.Workers = parallel.DefaultWorkers()
 	}
 	return c
 }
@@ -73,31 +83,58 @@ func FaultSweep(cfg FaultConfig) (encode.FaultSweep, error) {
 		Seed:        cfg.Seed,
 		CleanEnergy: sol.Energy,
 	}
-	gen := faults.Config{WakeDelayMax: cfg.WakeDelayMax}
-	for _, in := range cfg.Intensities {
-		gen.Intensity = in
-		row := encode.FaultSweepRow{Intensity: in, Trials: cfg.Trials}
-		var overheads []float64
-		for trial := 0; trial < cfg.Trials; trial++ {
-			plan := faults.Generate(gen, tasks, sys, cfg.Seed+int64(trial)+1)
-			row.Faults += len(plan.Faults)
+	// Every (intensity, trial) replay pair is independent: fan them out on
+	// the worker pool and reduce per-intensity rows in index order. Plan
+	// seeds derive from the trial's coordinates, so any worker count —
+	// including Workers == 1, the historical sequential loop — yields the
+	// same table.
+	type trialOut struct {
+		faults, recovered, averted   int
+		boosts, replans, races, bare int
+		overhead                     float64
+	}
+	trials, err := parallel.Map(context.Background(), cfg.Workers, len(cfg.Intensities)*cfg.Trials,
+		func(_ context.Context, i int) (trialOut, error) {
+			in := cfg.Intensities[i/cfg.Trials]
+			trial := i % cfg.Trials
+			gen := faults.Config{WakeDelayMax: cfg.WakeDelayMax, Intensity: in}
+			planSeed := stats.DeriveSeed(cfg.Seed, domainFaultSweep, stats.FloatDim(in), uint64(trial))
+			plan := faults.Generate(gen, tasks, sys, planSeed)
+			t := trialOut{faults: len(plan.Faults)}
 
 			rec, err := resilient.Execute(sol.Schedule, tasks, sys, plan, resilient.DefaultPolicy())
 			if err != nil {
-				return encode.FaultSweep{}, fmt.Errorf("intensity %g trial %d: %w", in, trial, err)
+				return trialOut{}, fmt.Errorf("intensity %g trial %d: %w", in, trial, err)
 			}
-			row.RecoveredMisses += len(rec.FaultMisses)
-			row.Averted += len(rec.Averted)
-			row.Boosts += rec.Recoveries.Count(resilient.ActionBoost)
-			row.Replans += rec.Recoveries.Count(resilient.ActionReplan)
-			row.Races += rec.Recoveries.Count(resilient.ActionRace)
-			overheads = append(overheads, rec.Energy/sol.Energy-1)
+			t.recovered = len(rec.FaultMisses)
+			t.averted = len(rec.Averted)
+			t.boosts = rec.Recoveries.Count(resilient.ActionBoost)
+			t.replans = rec.Recoveries.Count(resilient.ActionReplan)
+			t.races = rec.Recoveries.Count(resilient.ActionRace)
+			t.overhead = rec.Energy/sol.Energy - 1
 
 			bare, err := resilient.Execute(sol.Schedule, tasks, sys, plan, resilient.NoRecovery())
 			if err != nil {
-				return encode.FaultSweep{}, fmt.Errorf("intensity %g trial %d (bare): %w", in, trial, err)
+				return trialOut{}, fmt.Errorf("intensity %g trial %d (bare): %w", in, trial, err)
 			}
-			row.BareMisses += len(bare.FaultMisses)
+			t.bare = len(bare.FaultMisses)
+			return t, nil
+		})
+	if err != nil {
+		return encode.FaultSweep{}, err
+	}
+	for ii, in := range cfg.Intensities {
+		row := encode.FaultSweepRow{Intensity: in, Trials: cfg.Trials}
+		var overheads []float64
+		for _, t := range trials[ii*cfg.Trials : (ii+1)*cfg.Trials] {
+			row.Faults += t.faults
+			row.RecoveredMisses += t.recovered
+			row.Averted += t.averted
+			row.Boosts += t.boosts
+			row.Replans += t.replans
+			row.Races += t.races
+			row.BareMisses += t.bare
+			overheads = append(overheads, t.overhead)
 		}
 		row.EnergyOverhead = stats.Mean(overheads)
 		out.Rows = append(out.Rows, row)

@@ -32,21 +32,25 @@ func (c Config) AblationSwitchOverhead() ([]SwitchPoint, error) {
 	c = c.withDefaults()
 	// Sweep from free switching to a deliberately punitive 1 mJ.
 	costs := []float64{0, 1e-6, 1e-5, 1e-4, 1e-3} //lint:allow tolconst: joule-valued switch-energy sweep points, not tolerances
-	var out []SwitchPoint
-	for _, cost := range costs {
+	return runGrid(c, len(costs), func(i int) (SwitchPoint, error) {
+		cost := costs[i]
 		sys := c.system(4, power.Milliseconds(40))
 		sys.Core.SwitchEnergy = cost
 		pt := SwitchPoint{SwitchEnergy: cost}
 		var sdem, mbkps []float64
 		var sdemSw, mbkpSw int
 		for s := 0; s < c.Seeds; s++ {
-			tasks, err := workload.Synthetic(workload.SyntheticConfig{N: c.Tasks}, int64(s)*17+3)
+			// The seed deliberately excludes the cost coordinate: the
+			// ablation is a paired design comparing identical task sets
+			// under different switch-energy charges.
+			seed := stats.DeriveSeed(c.Seed, domainSwitch, uint64(s))
+			tasks, err := workload.Synthetic(workload.SyntheticConfig{N: c.Tasks}, seed)
 			if err != nil {
-				return nil, err
+				return SwitchPoint{}, err
 			}
 			cmp, err := Compare(tasks, sys, c.Cores)
 			if err != nil {
-				return nil, err
+				return SwitchPoint{}, err
 			}
 			pt.Misses += len(cmp.MBKP.Misses) + len(cmp.MBKPS.Misses) + len(cmp.SDEMON.Misses)
 			sdem = append(sdem, stats.SavingRatio(cmp.MBKP.Energy, cmp.SDEMON.Energy))
@@ -58,9 +62,8 @@ func (c Config) AblationSwitchOverhead() ([]SwitchPoint, error) {
 		pt.MBKPS = stats.Summarize(mbkps)
 		pt.SDEMSwitches = float64(sdemSw) / float64(c.Seeds)
 		pt.MBKPSwitches = float64(mbkpSw) / float64(c.Seeds)
-		out = append(out, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }
 
 // RenderSwitchAblation formats the switch-overhead ablation.

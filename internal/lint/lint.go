@@ -10,6 +10,7 @@ import (
 	"sdem/internal/lint/auditcheck"
 	"sdem/internal/lint/floatcmp"
 	"sdem/internal/lint/load"
+	"sdem/internal/lint/randsource"
 	"sdem/internal/lint/tolconst"
 	"sdem/internal/lint/unitcheck"
 )
@@ -21,6 +22,7 @@ func Analyzers() []*analysis.Analyzer {
 		tolconst.Analyzer,
 		unitcheck.Analyzer,
 		auditcheck.Analyzer,
+		randsource.Analyzer,
 	}
 }
 

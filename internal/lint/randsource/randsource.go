@@ -1,0 +1,71 @@
+// Package randsource implements the sdemlint analyzer that confines raw
+// math/rand seeding to the designated randomness packages
+// (internal/stats, internal/workload).
+//
+// Everywhere else, a literal rand.NewSource(expr) is an order-dependent
+// or colliding seed waiting to happen: the parallel sweep engine's
+// determinism rests on every grid point's seed being a pure,
+// collision-free function of its coordinates, which is exactly what
+// stats.DeriveSeed provides and what ad-hoc mixes (seed*7919+coord) do
+// not. Sites that genuinely want direct seeding — seeded generators that
+// take the derived seed as input, one-off demo instances — carry a
+// //lint:allow randsource comment stating why.
+package randsource
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sdem/internal/lint/analysis"
+)
+
+// Analyzer is the randsource pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "randsource",
+	Doc: "flags raw math/rand NewSource calls outside internal/stats and internal/workload; " +
+		"derive grid-point seeds with stats.DeriveSeed, or suppress with //lint:allow randsource " +
+		"where direct seeding is the point",
+	Run: run,
+}
+
+// allowedPkgs are the packages whose purpose is seeded generation: the
+// seed-derivation toolbox itself and the workload generators it feeds.
+var allowedPkgs = map[string]bool{
+	"sdem/internal/stats":    true,
+	"sdem/internal/workload": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg != nil && allowedPkgs[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "NewSource" {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			if p := pkgName.Imported().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			pass.Reportf(call.Pos(), "raw rand.NewSource outside stats/workload; derive the seed with stats.DeriveSeed, or add //lint:allow randsource explaining why direct seeding is intended")
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package randsource_test
+
+import (
+	"testing"
+
+	"sdem/internal/lint/analysistest"
+	"sdem/internal/lint/randsource"
+)
+
+func TestRandsource(t *testing.T) {
+	analysistest.Run(t, ".", randsource.Analyzer, "randsource")
+}

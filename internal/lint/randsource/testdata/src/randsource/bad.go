@@ -1,0 +1,16 @@
+package randsource
+
+import "math/rand"
+
+// sweepBad seeds a grid point with an ad-hoc linear mix — the
+// order-dependent, collision-prone pattern the analyzer exists to catch.
+func sweepBad(seed int64, u float64) float64 {
+	r := rand.New(rand.NewSource(seed*7919 + int64(u))) // want "raw rand.NewSource outside stats/workload"
+	return r.Float64()
+}
+
+// aliasedBad still resolves through the math/rand package object.
+func aliasedBad() int64 {
+	src := rand.NewSource(42) // want "raw rand.NewSource outside stats/workload"
+	return src.Int63()
+}

@@ -1,0 +1,19 @@
+package randsource
+
+import "math/rand"
+
+// suppressed documents why direct seeding is intended.
+func suppressed(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) //lint:allow randsource: seeded generator takes the already-derived seed as input
+	return r.Float64()
+}
+
+// unrelatedNewSource is a different NewSource entirely; only math/rand's
+// is flagged.
+func unrelatedNewSource() int {
+	return localrand{}.NewSource(7)
+}
+
+type localrand struct{}
+
+func (localrand) NewSource(n int) int { return n }

@@ -1,0 +1,131 @@
+// Package parallel provides the deterministic bounded worker pool behind
+// the experiment sweep engine: fan independent grid points out over a
+// fixed number of goroutines, collect the results in index order, cancel
+// everything on the first failure, and convert worker panics into
+// ordinary errors instead of crashing the process.
+//
+// Determinism contract: on success, Map's result slice depends only on
+// (n, fn) — never on the worker count or on goroutine interleaving —
+// provided fn(i) is itself a pure function of i. The experiment harness
+// guarantees that purity by deriving every grid point's RNG seed from its
+// coordinates (stats.DeriveSeed) rather than from execution order, so a
+// 16-worker sweep and the workers == 1 sequential path produce
+// byte-identical figures.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the pool width used when a caller passes workers <= 0:
+// one worker per schedulable CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// PanicError wraps a panic recovered inside a pool worker, carrying the
+// index whose task panicked and the stack captured at recovery so the
+// failure is debuggable after it has crossed goroutines.
+type PanicError struct {
+	Index int    // task index whose fn panicked
+	Value any    // recovered panic value
+	Stack string // stack trace captured at the recovery site
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// Map evaluates fn(ctx, i) for every i in [0, n) using at most workers
+// concurrent goroutines and returns the n results in index order.
+//
+// workers <= 0 selects DefaultWorkers; workers == 1 (or n < 2) runs the
+// plain sequential loop in the caller's goroutine — no pool, identical to
+// the historical serial sweep. The first failure — an error returned by
+// fn, a panic recovered from fn, or cancellation of the parent context —
+// cancels the context observed by in-flight calls and prevents unstarted
+// indices from running; Map then returns the failure with the smallest
+// index among those that executed, so the reported error is stable under
+// scheduling for deterministic fn.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("parallel: negative task count %d", n)
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := protect(ctx, i, fn)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64 // index dispenser
+		mu       sync.Mutex
+		firstErr error
+		firstIdx = n // smallest failed index seen so far
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				v, err := protect(ctx, i, fn)
+				if err != nil {
+					fail(i, err)
+					return
+				}
+				out[i] = v // each worker owns distinct indices
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err // parent cancelled with no fn failure
+	}
+	return out, nil
+}
+
+// protect runs one task with panic capture.
+func protect[T any](ctx context.Context, i int, fn func(context.Context, int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	return fn(ctx, i)
+}
