@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test lint fmt fuzz
+.PHONY: check build vet test lint fmt fuzz trace-demo
 
 # check chains the same steps CI runs (.github/workflows/ci.yml).
 check: build vet test lint
@@ -21,6 +21,13 @@ lint:
 # it on every push, longer campaigns are manual (-fuzztime 10m etc.).
 fuzz:
 	$(GO) test ./internal/resilient -run '^$$' -fuzz FuzzExecute -fuzztime 10s
+
+# trace-demo writes a small sweep's metrics and a Chrome trace you can
+# open in ui.perfetto.dev or chrome://tracing (see README "Observability").
+trace-demo:
+	$(GO) run ./cmd/experiments -run fig6a -seeds 2 -tasks 12 \
+		-telemetry -metrics-out=trace-demo.metrics -trace-out=trace-demo.json
+	@echo "wrote trace-demo.metrics and trace-demo.json (load the .json in ui.perfetto.dev)"
 
 fmt:
 	gofmt -l -w .

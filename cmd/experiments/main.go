@@ -21,29 +21,40 @@ import (
 	"sdem/internal/experiments"
 	"sdem/internal/parallel"
 	"sdem/internal/stats"
+	"sdem/internal/telemetry"
 )
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "experiment: fig6a|fig6b|fig6ext|fig7a|fig7b|table3|ablation|ablation-procrastinate|ablation-switch|ablation-discrete|all")
+		run     = flag.String("run", "all", "experiment: fig6a|fig6b|fig6ext|fig7a|fig7b|table3|ablation|ablation-procrastinate|ablation-switch|ablation-discrete|faults|all")
 		seeds   = flag.Int("seeds", 10, "random cases per data point (§8.2 uses 10)")
 		tasks   = flag.Int("tasks", 60, "task instances per run")
 		cores   = flag.Int("cores", 8, "platform cores")
 		workers = flag.Int("workers", parallel.DefaultWorkers(), "sweep worker pool size (1 = sequential; output is identical at any width)")
 		seed    = flag.Int64("seed", 1, "campaign base seed; per-point workload seeds derive from it via stats.DeriveSeed")
 		csv     = flag.String("csv", "", "also append figure series as CSV to this file")
+		tcli    telemetry.CLI
 	)
+	tcli.Register(flag.CommandLine)
 	flag.Parse()
-	cfg := experiments.Config{Seeds: *seeds, Tasks: *tasks, Cores: *cores, Workers: *workers, Seed: *seed}
+	if err := tcli.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	cfg := experiments.Config{Seeds: *seeds, Tasks: *tasks, Cores: *cores, Workers: *workers, Seed: *seed, Telemetry: tcli.Recorder()}
 	names := strings.Split(*run, ",")
 	if *run == "all" {
-		names = []string{"fig6a", "fig6b", "fig7a", "fig7b", "table3", "ablation", "ablation-procrastinate", "ablation-switch", "ablation-discrete", "fig6ext"}
+		names = []string{"fig6a", "fig6b", "fig7a", "fig7b", "table3", "ablation", "ablation-procrastinate", "ablation-switch", "ablation-discrete", "fig6ext", "faults"}
 	}
 	for _, name := range names {
 		if err := dispatch(cfg, strings.TrimSpace(name), *csv); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
+	}
+	if err := tcli.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
 }
 
@@ -146,6 +157,18 @@ func dispatch(cfg experiments.Config, name, csvPath string) error {
 			return err
 		}
 		fmt.Print(experiments.RenderDiscreteAblation(pts))
+		fmt.Println()
+	case "faults":
+		res, err := experiments.FaultSweep(experiments.FaultConfig{
+			N:         cfg.Tasks / 4,
+			Seed:      cfg.Seed,
+			Workers:   cfg.Workers,
+			Telemetry: cfg.Telemetry,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFaultSweep(res))
 		fmt.Println()
 	case "ablation-procrastinate":
 		pts, err := cfg.AblationProcrastination()

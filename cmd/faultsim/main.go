@@ -24,6 +24,7 @@ import (
 	"sdem/internal/encode"
 	"sdem/internal/experiments"
 	"sdem/internal/parallel"
+	"sdem/internal/telemetry"
 )
 
 func main() {
@@ -36,15 +37,25 @@ func main() {
 		wakeMax   = flag.Float64("wakemax", 0.01, "wake-latency ceiling as a multiple of xi_m")
 		workers   = flag.Int("workers", parallel.DefaultWorkers(), "trial worker pool size (1 = sequential; output is identical at any width)")
 		out       = flag.String("out", "", "write the sweep as JSON to this file")
+		tcli      telemetry.CLI
 	)
+	tcli.Register(flag.CommandLine)
 	flag.Parse()
-	if err := run(*sweep, *n, *seed, *trials, *intensity, *wakeMax, *workers, *out); err != nil {
+	if err := tcli.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		os.Exit(1)
+	}
+	if err := run(*sweep, *n, *seed, *trials, *intensity, *wakeMax, *workers, *out, tcli.Recorder()); err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		os.Exit(1)
+	}
+	if err := tcli.Finish(); err != nil {
 		fmt.Fprintln(os.Stderr, "faultsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sweep string, n int, seed int64, trials int, intensity, wakeMax float64, workers int, out string) error {
+func run(sweep string, n int, seed int64, trials int, intensity, wakeMax float64, workers int, out string, tel *telemetry.Recorder) error {
 	cfg := experiments.FaultConfig{
 		N:            n,
 		Trials:       trials,
@@ -52,6 +63,7 @@ func run(sweep string, n int, seed int64, trials int, intensity, wakeMax float64
 		WakeDelayMax: wakeMax,
 		Intensities:  []float64{intensity},
 		Workers:      workers,
+		Telemetry:    tel,
 	}
 	switch sweep {
 	case "quick":

@@ -18,7 +18,9 @@ import (
 	"os"
 
 	"sdem"
+	"sdem/internal/baseline"
 	"sdem/internal/encode"
+	"sdem/internal/telemetry"
 )
 
 func main() {
@@ -39,15 +41,25 @@ func main() {
 		common  = flag.Bool("common", false, "collapse all releases to the first one (common-release model, required by -algo bounded)")
 		tasksIn = flag.String("tasks", "", "load the task set from a JSON file instead of generating one")
 		out     = flag.String("out", "", "write the run (tasks, system, schedule, breakdown) as JSON to this file")
+		tcli    telemetry.CLI
 	)
+	tcli.Register(flag.CommandLine)
 	flag.Parse()
-	if err := run(*algo, *wl, *n, *seed, *x, *u, *cores, *alphaM, *xiM, *xi, *alpha0, *gantt, *speeds, *common, *tasksIn, *out); err != nil {
+	if err := tcli.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "sdem:", err)
+		os.Exit(1)
+	}
+	if err := run(*algo, *wl, *n, *seed, *x, *u, *cores, *alphaM, *xiM, *xi, *alpha0, *gantt, *speeds, *common, *tasksIn, *out, tcli.Recorder()); err != nil {
+		fmt.Fprintln(os.Stderr, "sdem:", err)
+		os.Exit(1)
+	}
+	if err := tcli.Finish(); err != nil {
 		fmt.Fprintln(os.Stderr, "sdem:", err)
 		os.Exit(1)
 	}
 }
 
-func run(algo, wl string, n int, seed int64, x, u float64, cores int, alphaM, xiM, xi float64, alpha0, gantt, speeds, common bool, tasksIn, out string) error {
+func run(algo, wl string, n int, seed int64, x, u float64, cores int, alphaM, xiM, xi float64, alpha0, gantt, speeds, common bool, tasksIn, out string, tel *telemetry.Recorder) error {
 	sys := sdem.DefaultSystem()
 	sys.Cores = cores
 	sys.Memory.Static = alphaM
@@ -100,7 +112,7 @@ func run(algo, wl string, n int, seed int64, x, u float64, cores int, alphaM, xi
 	var sched *sdem.Schedule
 	switch algo {
 	case "auto":
-		sol, err := sdem.Solve(tasks, sys)
+		sol, err := sdem.SolveTel(tasks, sys, tel)
 		switch {
 		case err == nil:
 			sched = sol.Schedule
@@ -108,7 +120,7 @@ func run(algo, wl string, n int, seed int64, x, u float64, cores int, alphaM, xi
 		case tasks.Classify() == sdem.ModelGeneral:
 			// No offline optimum exists for general sets; fall back to
 			// the online heuristic.
-			res, rerr := sdem.ScheduleOnline(tasks, sys, sdem.OnlineOptions{Cores: cores})
+			res, rerr := sdem.ScheduleOnline(tasks, sys, sdem.OnlineOptions{Cores: cores, Telemetry: tel})
 			if rerr != nil {
 				return rerr
 			}
@@ -131,15 +143,15 @@ func run(algo, wl string, n int, seed int64, x, u float64, cores int, alphaM, xi
 		var res *sdem.OnlineResult
 		switch algo {
 		case "sdem-on":
-			res, err = sdem.ScheduleOnline(tasks, sys, sdem.OnlineOptions{Cores: cores})
+			res, err = sdem.ScheduleOnline(tasks, sys, sdem.OnlineOptions{Cores: cores, Telemetry: tel})
 		case "mbkp":
-			res, err = sdem.MBKP(tasks, sys, cores)
+			res, err = baseline.MBKPTel(tasks, sys, cores, tel)
 		case "mbkps":
-			res, err = sdem.MBKPS(tasks, sys, cores)
+			res, err = baseline.MBKPSTel(tasks, sys, cores, tel)
 		case "race":
-			res, err = sdem.RaceToIdle(tasks, sys, cores)
+			res, err = baseline.RaceToIdleTel(tasks, sys, cores, tel)
 		case "critical":
-			res, err = sdem.CriticalSpeedPolicy(tasks, sys, cores)
+			res, err = baseline.CriticalSpeedTel(tasks, sys, cores, tel)
 		}
 		if err != nil {
 			return err

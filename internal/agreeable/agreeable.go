@@ -32,6 +32,7 @@ import (
 	"sdem/internal/power"
 	"sdem/internal/schedule"
 	"sdem/internal/task"
+	"sdem/internal/telemetry"
 )
 
 // relTol is the package's relative speed/feasibility tolerance; it matches
@@ -88,6 +89,7 @@ type solver struct {
 	// stretches to fill its available window (constrained critical speed
 	// semantics of §7).
 	stretched []bool
+	tel       *telemetry.Recorder
 }
 
 func newSolver(tasks task.Set, sys power.System, m mode) (*solver, error) {
@@ -181,6 +183,7 @@ func (s *solver) coreEnergy(k int, avail float64) (float64, float64) {
 // blockEnergy evaluates the block-local objective for tasks [from..to]
 // with busy interval [bs, be].
 func (s *solver) blockEnergy(from, to int, bs, be float64) float64 {
+	s.tel.Count("sdem.solver.agr.objective_evals", 1)
 	if be <= bs {
 		return math.Inf(1)
 	}
@@ -200,6 +203,7 @@ func (s *solver) blockEnergy(from, to int, bs, be float64) float64 {
 // blockSolve finds the optimal busy interval for tasks [from..to] by 2-D
 // convex minimization over (s', e').
 func (s *solver) blockSolve(from, to int) Block {
+	s.tel.Count("sdem.solver.agr.block_solves", 1)
 	first, last := s.tasks[from], s.tasks[to]
 	box := numeric.Box{
 		X0: first.Release, X1: first.Deadline,
@@ -238,6 +242,7 @@ func (s *solver) dp(blockExtra float64) []Block {
 	for q := 1; q <= n; q++ {
 		opt[q] = math.Inf(1)
 		for p := 0; p < q; p++ {
+			s.tel.Count("sdem.solver.agr.dp_cells", 1)
 			if c := opt[p] + get(p, q-1).Cost + blockExtra; c < opt[q] {
 				opt[q] = c
 				choice[q] = p
@@ -280,7 +285,7 @@ func (s *solver) buildSchedule(blocks []Block) *schedule.Schedule {
 	return sched
 }
 
-func (s *solver) solve(blockExtra float64) (*Solution, error) {
+func (s *solver) solve(scheme string, blockExtra float64) (*Solution, error) {
 	blocks := s.dp(blockExtra)
 	sched := s.buildSchedule(blocks)
 	energy := schedule.Audit(sched, s.sys).Total()
@@ -294,8 +299,17 @@ func (s *solver) solve(blockExtra float64) (*Solution, error) {
 		if fb := s.buildNaturalFallback(); fb != nil {
 			if e := schedule.Audit(fb, s.sys).Total(); e < energy {
 				sched, energy = fb, e
+				s.tel.Count("sdem.solver.agr.fallback_used", 1)
 			}
 		}
+	}
+	if s.tel != nil {
+		s.tel.CountL("sdem.solver.agr.solves", "scheme="+scheme, 1)
+		s.tel.Count("sdem.solver.agr.blocks", int64(len(blocks)))
+		s.tel.Instant("agr solve "+scheme, "solver", s.start, 0,
+			telemetry.Int("blocks", int64(len(blocks))),
+			telemetry.Int("tasks", int64(len(s.tasks))),
+			telemetry.Num("energy_j", energy))
 	}
 	return &Solution{
 		Schedule: sched,
@@ -328,21 +342,35 @@ func (s *solver) buildNaturalFallback() *schedule.Schedule {
 // SolveAlphaZero solves §5.1: agreeable deadlines, negligible core static
 // power, free transitions. The returned schedule is optimal.
 func SolveAlphaZero(tasks task.Set, sys power.System) (*Solution, error) {
+	return SolveAlphaZeroTel(tasks, sys, nil)
+}
+
+// SolveAlphaZeroTel is SolveAlphaZero with telemetry attached; a nil
+// recorder is the uninstrumented path.
+func SolveAlphaZeroTel(tasks task.Set, sys power.System, tel *telemetry.Recorder) (*Solution, error) {
 	s, err := newSolver(tasks, sys, modeAlphaZero)
 	if err != nil {
 		return nil, err
 	}
-	return s.solve(0)
+	s.tel = tel
+	return s.solve("alpha_zero", 0)
 }
 
 // SolveWithStatic solves §5.2: agreeable deadlines, non-negligible core
 // static power, free transitions. The returned schedule is optimal.
 func SolveWithStatic(tasks task.Set, sys power.System) (*Solution, error) {
+	return SolveWithStaticTel(tasks, sys, nil)
+}
+
+// SolveWithStaticTel is SolveWithStatic with telemetry attached; a nil
+// recorder is the uninstrumented path.
+func SolveWithStaticTel(tasks task.Set, sys power.System, tel *telemetry.Recorder) (*Solution, error) {
 	s, err := newSolver(tasks, sys, modeStatic)
 	if err != nil {
 		return nil, err
 	}
-	return s.solve(0)
+	s.tel = tel
+	return s.solve("static", 0)
 }
 
 // SolveWithOverhead solves the §7 agreeable-deadline problem with mode
@@ -350,23 +378,36 @@ func SolveWithStatic(tasks task.Set, sys power.System) (*Solution, error) {
 // constrained critical speeds, and the DP charges one memory transition
 // α_m·ξ_m per block.
 func SolveWithOverhead(tasks task.Set, sys power.System) (*Solution, error) {
+	return SolveWithOverheadTel(tasks, sys, nil)
+}
+
+// SolveWithOverheadTel is SolveWithOverhead with telemetry attached; a
+// nil recorder is the uninstrumented path.
+func SolveWithOverheadTel(tasks task.Set, sys power.System, tel *telemetry.Recorder) (*Solution, error) {
 	s, err := newSolver(tasks, sys, modeOverhead)
 	if err != nil {
 		return nil, err
 	}
-	return s.solve(sys.Memory.TransitionEnergy())
+	s.tel = tel
+	return s.solve("overhead", sys.Memory.TransitionEnergy())
 }
 
 // Solve dispatches to the appropriate §5/§7 scheme based on the system
 // model, mirroring Table 1.
 func Solve(tasks task.Set, sys power.System) (*Solution, error) {
+	return SolveTel(tasks, sys, nil)
+}
+
+// SolveTel is Solve with telemetry attached; a nil recorder is the
+// uninstrumented path.
+func SolveTel(tasks task.Set, sys power.System, tel *telemetry.Recorder) (*Solution, error) {
 	switch {
 	case sys.Core.BreakEven > 0 || sys.Memory.BreakEven > 0:
-		return SolveWithOverhead(tasks, sys)
+		return SolveWithOverheadTel(tasks, sys, tel)
 	case sys.Core.Static > 0:
-		return SolveWithStatic(tasks, sys)
+		return SolveWithStaticTel(tasks, sys, tel)
 	default:
-		return SolveAlphaZero(tasks, sys)
+		return SolveAlphaZeroTel(tasks, sys, tel)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"sdem/internal/schedule"
 	"sdem/internal/sim"
 	"sdem/internal/task"
+	"sdem/internal/telemetry"
 )
 
 // SpeedRule selects the execution speed for a core's ready queue at time
@@ -81,10 +82,17 @@ func clampSpeed(sys power.System, s float64) float64 {
 // re-evaluation of the speed at every arrival, completion and
 // critical-deadline event.
 func run(tasks task.Set, sys power.System, cores int, rule SpeedRule) (*sim.Result, error) {
+	return runTel(tasks, sys, cores, rule, nil, "")
+}
+
+// runTel is run with a telemetry recorder attached to the pool under the
+// given scheduler name; a nil recorder is the uninstrumented path.
+func runTel(tasks task.Set, sys power.System, cores int, rule SpeedRule, tel *telemetry.Recorder, name string) (*sim.Result, error) {
 	pool, err := sim.NewPool(tasks, sys, cores)
 	if err != nil {
 		return nil, err
 	}
+	pool.SetTelemetry(tel, name)
 	n := pool.Cores()
 	// Round-robin assignment in release order (§8.1.2: "the first 8 tasks
 	// are assigned to 8 cores separately, the 9th to the first core...").
@@ -181,7 +189,12 @@ func criticalDeadline(queue []*sim.Job, now, _ float64) float64 {
 // MBKP schedules with the memory-oblivious OA policy and accounts energy
 // with no sleeping anywhere (the paper's MBKP reference).
 func MBKP(tasks task.Set, sys power.System, cores int) (*sim.Result, error) {
-	res, err := run(tasks, sys, cores, OASpeed)
+	return MBKPTel(tasks, sys, cores, nil)
+}
+
+// MBKPTel is MBKP with telemetry attached.
+func MBKPTel(tasks task.Set, sys power.System, cores int, tel *telemetry.Recorder) (*sim.Result, error) {
+	res, err := runTel(tasks, sys, cores, OASpeed, tel, "mbkp")
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +210,12 @@ func MBKP(tasks task.Set, sys power.System, cores int) (*sim.Result, error) {
 // observation that MBKPS degenerates to MBKP when the system is busy
 // (gaps too short to be worth anything) and only profits from long gaps.
 func MBKPS(tasks task.Set, sys power.System, cores int) (*sim.Result, error) {
-	res, err := run(tasks, sys, cores, OASpeed)
+	return MBKPSTel(tasks, sys, cores, nil)
+}
+
+// MBKPSTel is MBKPS with telemetry attached.
+func MBKPSTel(tasks task.Set, sys power.System, cores int, tel *telemetry.Recorder) (*sim.Result, error) {
+	res, err := runTel(tasks, sys, cores, OASpeed, tel, "mbkps")
 	if err != nil {
 		return nil, err
 	}
@@ -207,7 +225,12 @@ func MBKPS(tasks task.Set, sys power.System, cores int) (*sim.Result, error) {
 // RaceToIdle schedules every job at s_up and lets cores and memory sleep
 // at break-even gaps — the "race" pole of the title question.
 func RaceToIdle(tasks task.Set, sys power.System, cores int) (*sim.Result, error) {
-	res, err := run(tasks, sys, cores, RaceSpeed)
+	return RaceToIdleTel(tasks, sys, cores, nil)
+}
+
+// RaceToIdleTel is RaceToIdle with telemetry attached.
+func RaceToIdleTel(tasks task.Set, sys power.System, cores int, tel *telemetry.Recorder) (*sim.Result, error) {
+	res, err := runTel(tasks, sys, cores, RaceSpeed, tel, "race")
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +240,12 @@ func RaceToIdle(tasks task.Set, sys power.System, cores int) (*sim.Result, error
 // CriticalSpeed schedules every job at the per-core optimal speed s_0
 // with break-even sleeping — per-core optimal but memory-oblivious.
 func CriticalSpeed(tasks task.Set, sys power.System, cores int) (*sim.Result, error) {
-	res, err := run(tasks, sys, cores, CriticalSpeedRule)
+	return CriticalSpeedTel(tasks, sys, cores, nil)
+}
+
+// CriticalSpeedTel is CriticalSpeed with telemetry attached.
+func CriticalSpeedTel(tasks task.Set, sys power.System, cores int, tel *telemetry.Recorder) (*sim.Result, error) {
+	res, err := runTel(tasks, sys, cores, CriticalSpeedRule, tel, "critical")
 	if err != nil {
 		return nil, err
 	}

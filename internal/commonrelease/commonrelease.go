@@ -27,6 +27,7 @@ import (
 	"sdem/internal/power"
 	"sdem/internal/schedule"
 	"sdem/internal/task"
+	"sdem/internal/telemetry"
 )
 
 // relTol is the package's relative speed-feasibility tolerance; it matches
@@ -62,6 +63,23 @@ type instance struct {
 	tasks   []task.Task // sorted by natural completion, times relative to release
 	c       []float64   // natural completion times, ascending
 	zeros   task.Set    // zero-workload tasks (scheduled nowhere)
+	tel     *telemetry.Recorder
+}
+
+// record charges one completed solve into the recorder: a per-scheme
+// counter plus a trace instant at the (virtual) release time carrying the
+// chosen case structure.
+func (in *instance) record(scheme string, sol *Solution) {
+	if in.tel == nil {
+		return
+	}
+	in.tel.CountL("sdem.solver.cr.solves", "scheme="+scheme, 1)
+	in.tel.Count("sdem.solver.cr.tasks", int64(len(in.tasks)))
+	in.tel.Instant("cr solve "+scheme, "solver", in.release, 0,
+		telemetry.Int("case", int64(sol.Case)),
+		telemetry.Num("busy_len", sol.BusyLen),
+		telemetry.Num("delta", sol.Delta),
+		telemetry.Num("energy_j", sol.Energy))
 }
 
 // normalize validates the input and produces the sorted instance.
@@ -229,8 +247,13 @@ func (in *instance) energyAt(cd caseData, i int, L float64, alphaPerCore float64
 func (in *instance) scanAll(alphaPerCore float64) (int, float64) {
 	best, bestL, bestE := -1, 0.0, math.Inf(1)
 	for i, cd := range in.cases(alphaPerCore, true) {
+		in.tel.Count("sdem.solver.cr.case_scans", 1)
 		if cd.lo > cd.hi+schedule.Tol {
+			in.tel.Count("sdem.solver.cr.infeasible_cases", 1)
 			continue // speed cap excludes this case entirely
+		}
+		if cd.lstar < cd.lo || cd.lstar > cd.hi {
+			in.tel.Count("sdem.solver.cr.clamps", 1)
 		}
 		L := numeric.Clamp(cd.lstar, cd.lo, cd.hi)
 		if e := in.energyAt(cd, i, L, alphaPerCore); e < bestE {
@@ -244,10 +267,17 @@ func (in *instance) scanAll(alphaPerCore float64) (int, float64) {
 // power (the solver ignores sys.Core.Static), zero transition overhead.
 // The returned schedule is optimal (Theorem 2).
 func SolveAlphaZero(tasks task.Set, sys power.System) (*Solution, error) {
+	return SolveAlphaZeroTel(tasks, sys, nil)
+}
+
+// SolveAlphaZeroTel is SolveAlphaZero with telemetry attached; a nil
+// recorder is the uninstrumented path.
+func SolveAlphaZeroTel(tasks task.Set, sys power.System, tel *telemetry.Recorder) (*Solution, error) {
 	in, err := normalize(tasks, sys, func(t task.Task) float64 { return t.FilledSpeed() })
 	if err != nil {
 		return nil, err
 	}
+	in.tel = tel
 	// Audit must not charge core static power in the α=0 model.
 	in.sys.Core.Static = 0
 	in.sys.Core.BreakEven = 0
@@ -255,13 +285,17 @@ func SolveAlphaZero(tasks task.Set, sys power.System) (*Solution, error) {
 	if len(in.tasks) == 0 {
 		return in.empty(), nil
 	}
+	var sol *Solution
 	if numeric.IsZero(in.sys.Memory.Static, 0) {
 		// Without memory leakage each task independently prefers its
 		// filled speed; the busy length is the latest deadline.
-		return in.solution(in.c[len(in.c)-1], 1), nil
+		sol = in.solution(in.c[len(in.c)-1], 1)
+	} else {
+		i, L := in.scanAll(0)
+		sol = in.solution(L, i+1)
 	}
-	i, L := in.scanAll(0)
-	return in.solution(L, i+1), nil
+	in.record("alpha_zero", sol)
+	return sol, nil
 }
 
 // SolveWithStatic solves §4.2: common release time, non-negligible core
@@ -269,32 +303,54 @@ func SolveAlphaZero(tasks task.Set, sys power.System) (*Solution, error) {
 // busy interval run at their critical speed s_0; the returned schedule is
 // optimal (Theorem 3).
 func SolveWithStatic(tasks task.Set, sys power.System) (*Solution, error) {
+	return SolveWithStaticTel(tasks, sys, nil)
+}
+
+// SolveWithStaticTel is SolveWithStatic with telemetry attached; a nil
+// recorder is the uninstrumented path. It additionally counts the tasks
+// whose critical speed s_0 was raised to the filled-speed floor
+// (sdem.solver.cr.critical_clamps).
+func SolveWithStaticTel(tasks task.Set, sys power.System, tel *telemetry.Recorder) (*Solution, error) {
 	in, err := normalize(tasks, sys, func(t task.Task) float64 {
-		return sys.Core.CriticalSpeed(t.FilledSpeed())
+		filled := t.FilledSpeed()
+		s := sys.Core.CriticalSpeed(filled)
+		if s <= filled*(1+relTol) {
+			tel.Count("sdem.solver.cr.critical_clamps", 1)
+		}
+		return s
 	})
 	if err != nil {
 		return nil, err
 	}
+	in.tel = tel
 	in.sys.Core.BreakEven = 0
 	in.sys.Memory.BreakEven = 0
 	if len(in.tasks) == 0 {
 		return in.empty(), nil
 	}
 	i, L := in.scanAll(in.sys.Core.Static)
-	return in.solution(L, i+1), nil
+	sol := in.solution(L, i+1)
+	in.record("with_static", sol)
+	return sol, nil
 }
 
 // Solve dispatches to the right §4 scheme based on the system model:
 // SolveWithOverhead when any break-even time is set, otherwise
 // SolveWithStatic for α ≠ 0 and SolveAlphaZero for α = 0.
 func Solve(tasks task.Set, sys power.System) (*Solution, error) {
+	return SolveTel(tasks, sys, nil)
+}
+
+// SolveTel is Solve with telemetry attached; a nil recorder is the
+// uninstrumented path.
+func SolveTel(tasks task.Set, sys power.System, tel *telemetry.Recorder) (*Solution, error) {
 	switch {
 	case sys.Core.BreakEven > 0 || sys.Memory.BreakEven > 0:
-		return SolveWithOverhead(tasks, sys)
+		return SolveWithOverheadTel(tasks, sys, tel)
 	case sys.Core.Static > 0:
-		return SolveWithStatic(tasks, sys)
+		return SolveWithStaticTel(tasks, sys, tel)
 	default:
-		return SolveAlphaZero(tasks, sys)
+		return SolveAlphaZeroTel(tasks, sys, tel)
 	}
 }
 
@@ -339,10 +395,18 @@ func Theorem2Scan(tasks task.Set, sys power.System) (int, float64, error) {
 // search over cases for the unique valid minimizer, falling back to the
 // best just-fit boundary when no case is valid.
 func BinarySearchScan(tasks task.Set, sys power.System) (int, float64, error) {
+	return BinarySearchScanTel(tasks, sys, nil)
+}
+
+// BinarySearchScanTel is BinarySearchScan with telemetry attached: each
+// bisection step increments sdem.solver.cr.bsearch_iters, making the
+// O(log n) bound observable.
+func BinarySearchScanTel(tasks task.Set, sys power.System, tel *telemetry.Recorder) (int, float64, error) {
 	in, err := normalize(tasks, sys, func(t task.Task) float64 { return t.FilledSpeed() })
 	if err != nil {
 		return 0, 0, err
 	}
+	in.tel = tel
 	if len(in.tasks) == 0 || numeric.IsZero(in.sys.Memory.Static, 0) {
 		return 0, 0, errors.New("commonrelease: BinarySearchScan needs positive work and memory power")
 	}
@@ -350,6 +414,7 @@ func BinarySearchScan(tasks task.Set, sys power.System) (int, float64, error) {
 	lo, hi := 0, len(cds)-1
 	var lastJustFit = -1
 	for lo <= hi {
+		in.tel.Count("sdem.solver.cr.bsearch_iters", 1)
 		mid := (lo + hi) / 2
 		cd := cds[mid]
 		switch {

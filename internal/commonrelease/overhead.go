@@ -8,6 +8,7 @@ import (
 	"sdem/internal/power"
 	"sdem/internal/schedule"
 	"sdem/internal/task"
+	"sdem/internal/telemetry"
 )
 
 // SolveWithOverhead solves the §7 common-release problem with
@@ -24,6 +25,13 @@ import (
 // the paper's Table 3: the candidates Δ = Δ_mi, Δ = ξ and Δ = 0 are all
 // piece boundaries or interior minima of some piece.
 func SolveWithOverhead(tasks task.Set, sys power.System) (*Solution, error) {
+	return SolveWithOverheadTel(tasks, sys, nil)
+}
+
+// SolveWithOverheadTel is SolveWithOverhead with telemetry attached; a
+// nil recorder is the uninstrumented path. It counts the golden-section
+// objective evaluations and the convex pieces minimized.
+func SolveWithOverheadTel(tasks task.Set, sys power.System, tel *telemetry.Recorder) (*Solution, error) {
 	// Determine the maximal interval first: s_c depends on it.
 	var horizon float64
 	for _, t := range tasks {
@@ -41,6 +49,7 @@ func SolveWithOverhead(tasks task.Set, sys power.System) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
+	in.tel = tel
 	if len(in.tasks) == 0 {
 		return in.empty(), nil
 	}
@@ -73,6 +82,7 @@ func SolveWithOverhead(tasks task.Set, sys power.System) (*Solution, error) {
 	}
 
 	eval := func(L float64) float64 {
+		tel.Count("sdem.solver.cr.objective_evals", 1)
 		if L <= 0 {
 			return math.Inf(1)
 		}
@@ -89,6 +99,7 @@ func SolveWithOverhead(tasks task.Set, sys power.System) (*Solution, error) {
 		if p <= prev+schedule.Tol {
 			continue
 		}
+		tel.Count("sdem.solver.cr.pieces", 1)
 		x, e := numeric.MinimizeConvex(eval, prev, p, numeric.DefaultTol)
 		if e < bestE {
 			bestL, bestE = x, e
@@ -101,5 +112,7 @@ func SolveWithOverhead(tasks task.Set, sys power.System) (*Solution, error) {
 	if caseIdx > n {
 		caseIdx = n
 	}
-	return in.solution(bestL, caseIdx), nil
+	sol := in.solution(bestL, caseIdx)
+	in.record("overhead", sol)
+	return sol, nil
 }

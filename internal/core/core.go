@@ -19,6 +19,7 @@ import (
 	"sdem/internal/schedule"
 	"sdem/internal/sim"
 	"sdem/internal/task"
+	"sdem/internal/telemetry"
 )
 
 // Solution is an offline optimal SDEM schedule.
@@ -68,11 +69,17 @@ func schemeName(model task.Model, sys power.System) string {
 
 // Solve computes the offline optimal SDEM schedule on the unbounded-core
 // platform, dispatching per Table 1.
-func Solve(tasks task.Set, sys power.System) (*Solution, error) { //lint:allow auditcheck: wraps sub-solver solutions whose schedules are normalized by the callee
+func Solve(tasks task.Set, sys power.System) (*Solution, error) {
+	return SolveTel(tasks, sys, nil)
+}
+
+// SolveTel is Solve with telemetry attached; a nil recorder is the
+// uninstrumented path.
+func SolveTel(tasks task.Set, sys power.System, tel *telemetry.Recorder) (*Solution, error) { //lint:allow auditcheck: wraps sub-solver solutions whose schedules are normalized by the callee
 	model := tasks.Classify()
 	switch model {
 	case task.ModelEmpty, task.ModelCommonDeadline, task.ModelCommonRelease:
-		sol, err := commonrelease.Solve(tasks, sys)
+		sol, err := commonrelease.SolveTel(tasks, sys, tel)
 		if err != nil {
 			return nil, err
 		}
@@ -83,7 +90,7 @@ func Solve(tasks task.Set, sys power.System) (*Solution, error) { //lint:allow a
 			Scheme:   schemeName(model, sys),
 		}, nil
 	case task.ModelAgreeable:
-		sol, err := agreeable.Solve(tasks, sys)
+		sol, err := agreeable.SolveTel(tasks, sys, tel)
 		if err != nil {
 			return nil, err
 		}

@@ -9,6 +9,7 @@ import (
 	"sdem/internal/power"
 	"sdem/internal/schedule"
 	"sdem/internal/stats"
+	"sdem/internal/telemetry"
 	"sdem/internal/workload"
 )
 
@@ -52,16 +53,17 @@ func (c Config) AblationDiscrete() ([]DiscretePoint, error) {
 		sched *schedule.Schedule
 		base  float64
 	}
-	runs, err := runGrid(c, c.Seeds, func(s int) (run, error) {
+	runs, err := runGrid(c, "discrete", c.Seeds, func(s int, tel *telemetry.Recorder) (run, error) {
 		seed := stats.DeriveSeed(c.Seed, domainDiscrete, uint64(s))
 		tasks, err := workload.Synthetic(workload.SyntheticConfig{N: c.Tasks}, seed)
 		if err != nil {
 			return run{}, err
 		}
-		res, err := online.Schedule(tasks, sys, online.Options{Cores: c.Cores})
+		res, err := online.Schedule(tasks, sys, online.Options{Cores: c.Cores, Telemetry: tel})
 		if err != nil {
 			return run{}, err
 		}
+		tel.Count("sdem.sweep.points", 1)
 		return run{res.Schedule, res.Energy}, nil
 	})
 	if err != nil {

@@ -29,6 +29,7 @@ import (
 	"sdem/internal/sim"
 	"sdem/internal/stats"
 	"sdem/internal/task"
+	"sdem/internal/telemetry"
 	"sdem/internal/workload"
 )
 
@@ -88,6 +89,11 @@ type Config struct {
 	// is derived from it and the point's coordinates via
 	// stats.DeriveSeed (default 1).
 	Seed int64
+	// Telemetry, when non-nil, receives the campaign's metrics and trace
+	// events. Every grid point records into its own child Recorder; the
+	// children are merged back in grid-index order, so the telemetry
+	// output — like the figures — is identical at any worker count.
+	Telemetry *telemetry.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -113,11 +119,39 @@ func (c Config) withDefaults() Config {
 }
 
 // runGrid evaluates one grid of independent sweep points on the
-// configured worker pool, preserving index order.
-func runGrid[T any](c Config, n int, fn func(i int) (T, error)) ([]T, error) {
-	return parallel.Map(context.Background(), c.Workers, n, func(_ context.Context, i int) (T, error) {
-		return fn(i)
-	})
+// configured worker pool, preserving index order. name keys the sweep's
+// wall-clock profile family. When telemetry is on, each point gets its
+// own child Recorder (fed by exactly one goroutine) and the children are
+// merged back in grid-index order after the pool drains, which keeps the
+// merged dump byte-identical at any worker count.
+func runGrid[T any](c Config, name string, n int, fn func(i int, tel *telemetry.Recorder) (T, error)) ([]T, error) {
+	tel := c.Telemetry
+	children := make([]*telemetry.Recorder, n)
+	var opts []parallel.Option
+	var stop func()
+	if tel != nil {
+		for i := range children {
+			children[i] = tel.Child(i)
+		}
+		pp := tel.Prof.Pool(name)
+		opts = append(opts, parallel.WithHooks(parallel.Hooks{PoolStart: pp.PoolStart, TaskStart: pp.TaskStart}))
+		stop = tel.Prof.Start(name)
+	}
+	out, err := parallel.Map(context.Background(), c.Workers, n, func(_ context.Context, i int) (T, error) {
+		return fn(i, children[i])
+	}, opts...)
+	if stop != nil {
+		stop()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if tel != nil {
+		for _, ch := range children {
+			tel.Merge(ch)
+		}
+	}
+	return out, nil
 }
 
 // system builds the platform for given memory parameters.
@@ -138,20 +172,26 @@ type Comparison struct {
 }
 
 // Compare runs all compared schedulers on one task set.
-func Compare(tasks task.Set, sys power.System, cores int) (*Comparison, error) { //lint:allow auditcheck: wraps simulator results normalized by each scheduler
-	mbkp, err := baseline.MBKP(tasks, sys, cores)
+func Compare(tasks task.Set, sys power.System, cores int) (*Comparison, error) {
+	return CompareTel(tasks, sys, cores, nil)
+}
+
+// CompareTel is Compare with one telemetry recorder attached to every
+// scheduler's run; the sched= label distinguishes them in the output.
+func CompareTel(tasks task.Set, sys power.System, cores int, tel *telemetry.Recorder) (*Comparison, error) { //lint:allow auditcheck: wraps simulator results normalized by each scheduler
+	mbkp, err := baseline.MBKPTel(tasks, sys, cores, tel)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: MBKP: %w", err)
 	}
-	mbkps, err := baseline.MBKPS(tasks, sys, cores)
+	mbkps, err := baseline.MBKPSTel(tasks, sys, cores, tel)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: MBKPS: %w", err)
 	}
-	sdem, err := online.Schedule(tasks, sys, online.Options{Cores: cores})
+	sdem, err := online.Schedule(tasks, sys, online.Options{Cores: cores, Telemetry: tel})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: SDEM-ON: %w", err)
 	}
-	sdemZ, err := online.Schedule(tasks, sys, online.Options{Cores: cores, PlanAlphaZero: true})
+	sdemZ, err := online.Schedule(tasks, sys, online.Options{Cores: cores, PlanAlphaZero: true, Telemetry: tel})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: SDEM-ON-Z: %w", err)
 	}
@@ -196,7 +236,7 @@ func memoryEnergy(r *sim.Result) float64 {
 // the case index; callers derive the workload seed from it and the grid
 // coordinates (stats.DeriveSeed), keeping the point a pure function of
 // its coordinates.
-func (c Config) sweepPoint(x float64, gen func(caseIdx int) (task.Set, error), sys power.System, m metric) (Point, error) {
+func (c Config) sweepPoint(tel *telemetry.Recorder, x float64, gen func(caseIdx int) (task.Set, error), sys power.System, m metric) (Point, error) {
 	var sdem, sdemZ, mbkps, impr, imprZ []float64
 	misses := 0
 	for s := 0; s < c.Seeds; s++ {
@@ -204,7 +244,7 @@ func (c Config) sweepPoint(x float64, gen func(caseIdx int) (task.Set, error), s
 		if err != nil {
 			return Point{}, err
 		}
-		cmp, err := Compare(tasks, sys, c.Cores)
+		cmp, err := CompareTel(tasks, sys, c.Cores, tel)
 		if err != nil {
 			return Point{}, err
 		}
@@ -216,7 +256,14 @@ func (c Config) sweepPoint(x float64, gen func(caseIdx int) (task.Set, error), s
 		mbkps = append(mbkps, stats.SavingRatio(base, m(cmp.MBKPS)))
 		impr = append(impr, stats.SavingRatio(m(cmp.MBKPS), m(cmp.SDEMON)))
 		imprZ = append(imprZ, stats.SavingRatio(m(cmp.MBKPS), m(cmp.SDEMONZ)))
+		tel.ObserveL("sdem.sweep.saving", "sched=sdem-on", sdem[len(sdem)-1])
+		tel.ObserveL("sdem.sweep.saving", "sched=sdem-on-z", sdemZ[len(sdemZ)-1])
+		tel.ObserveL("sdem.sweep.saving", "sched=mbkps", mbkps[len(mbkps)-1])
+		tel.Observe("sdem.sweep.point_energy_j", base)
 	}
+	tel.Count("sdem.sweep.points", 1)
+	tel.Count("sdem.sweep.cases", int64(c.Seeds))
+	tel.Count("sdem.sweep.misses", int64(misses))
 	return Point{
 		X:            x,
 		SDEMON:       stats.Summarize(sdem),
@@ -258,9 +305,9 @@ func (c Config) fig6Kernels(m metric, name string, kernels []workload.Kernel) ([
 	c = c.withDefaults()
 	sys := c.system(4, power.Milliseconds(40))
 	nu := len(Table4.U)
-	pts, err := runGrid(c, len(kernels)*nu, func(i int) (Point, error) {
+	pts, err := runGrid(c, name, len(kernels)*nu, func(i int, tel *telemetry.Recorder) (Point, error) {
 		kernel, u := kernels[i/nu], Table4.U[i%nu]
-		return c.sweepPoint(u, func(caseIdx int) (task.Set, error) {
+		return c.sweepPoint(tel, u, func(caseIdx int) (task.Set, error) {
 			return workload.Benchmark(
 				workload.BenchmarkConfig{N: c.Tasks, Kernel: kernel, U: u},
 				c.benchmarkSeed(kernel, u, caseIdx))
@@ -296,9 +343,9 @@ func (c Config) Fig7a() ([]Series, error) {
 		systems[i] = c.system(dram.StaticPower(), dram.BreakEven())
 	}
 	nx := len(Table4.X)
-	pts, err := runGrid(c, len(Table4.AlphaM)*nx, func(i int) (Point, error) {
+	pts, err := runGrid(c, "fig7a", len(Table4.AlphaM)*nx, func(i int, tel *telemetry.Recorder) (Point, error) {
 		am, x := Table4.AlphaM[i/nx], Table4.X[i%nx]
-		return c.sweepPoint(x, func(caseIdx int) (task.Set, error) {
+		return c.sweepPoint(tel, x, func(caseIdx int) (task.Set, error) {
 			seed := stats.DeriveSeed(c.Seed, domainFig7a, stats.FloatDim(am), stats.FloatDim(x), uint64(caseIdx))
 			return workload.Synthetic(workload.SyntheticConfig{N: c.Tasks, MaxInterArrival: x}, seed)
 		}, systems[i/nx], systemEnergy)
@@ -323,9 +370,9 @@ func (c Config) Fig7a() ([]Series, error) {
 func (c Config) Fig7b() ([]Series, error) {
 	c = c.withDefaults()
 	nx := len(Table4.X)
-	pts, err := runGrid(c, len(Table4.XiM)*nx, func(i int) (Point, error) {
+	pts, err := runGrid(c, "fig7b", len(Table4.XiM)*nx, func(i int, tel *telemetry.Recorder) (Point, error) {
 		xim, x := Table4.XiM[i/nx], Table4.X[i%nx]
-		return c.sweepPoint(x, func(caseIdx int) (task.Set, error) {
+		return c.sweepPoint(tel, x, func(caseIdx int) (task.Set, error) {
 			seed := stats.DeriveSeed(c.Seed, domainFig7b, stats.FloatDim(xim), stats.FloatDim(x), uint64(caseIdx))
 			return workload.Synthetic(workload.SyntheticConfig{N: c.Tasks, MaxInterArrival: x}, seed)
 		}, c.system(4, xim), systemEnergy)
@@ -358,7 +405,7 @@ type AblationPoint struct {
 func (c Config) Ablation() ([]AblationPoint, error) {
 	c = c.withDefaults()
 	sys := c.system(4, power.Milliseconds(40))
-	return runGrid(c, len(Table4.X), func(i int) (AblationPoint, error) {
+	return runGrid(c, "ablation", len(Table4.X), func(i int, tel *telemetry.Recorder) (AblationPoint, error) {
 		x := Table4.X[i]
 		var race, crit, sdem []float64
 		pt := AblationPoint{X: x}
@@ -368,19 +415,19 @@ func (c Config) Ablation() ([]AblationPoint, error) {
 			if err != nil {
 				return AblationPoint{}, err
 			}
-			mbkp, err := baseline.MBKP(tasks, sys, c.Cores)
+			mbkp, err := baseline.MBKPTel(tasks, sys, c.Cores, tel)
 			if err != nil {
 				return AblationPoint{}, err
 			}
-			r, err := baseline.RaceToIdle(tasks, sys, c.Cores)
+			r, err := baseline.RaceToIdleTel(tasks, sys, c.Cores, tel)
 			if err != nil {
 				return AblationPoint{}, err
 			}
-			cr, err := baseline.CriticalSpeed(tasks, sys, c.Cores)
+			cr, err := baseline.CriticalSpeedTel(tasks, sys, c.Cores, tel)
 			if err != nil {
 				return AblationPoint{}, err
 			}
-			sd, err := online.Schedule(tasks, sys, online.Options{Cores: c.Cores})
+			sd, err := online.Schedule(tasks, sys, online.Options{Cores: c.Cores, Telemetry: tel})
 			if err != nil {
 				return AblationPoint{}, err
 			}
@@ -394,6 +441,9 @@ func (c Config) Ablation() ([]AblationPoint, error) {
 		pt.RaceToIdle = stats.Summarize(race)
 		pt.CriticalSpeed = stats.Summarize(crit)
 		pt.SDEMON = stats.Summarize(sdem)
+		tel.Count("sdem.sweep.points", 1)
+		tel.Count("sdem.sweep.cases", int64(c.Seeds))
+		tel.Count("sdem.sweep.misses", int64(pt.RaceMisses+pt.CritMisses+pt.SDEMMisses))
 		return pt, nil
 	})
 }
@@ -404,7 +454,7 @@ func (c Config) Ablation() ([]AblationPoint, error) {
 func (c Config) AblationProcrastination() ([]Point, error) {
 	c = c.withDefaults()
 	sys := c.system(4, power.Milliseconds(40))
-	return runGrid(c, len(Table4.X), func(i int) (Point, error) {
+	return runGrid(c, "procrastination", len(Table4.X), func(i int, tel *telemetry.Recorder) (Point, error) {
 		x := Table4.X[i]
 		var with, without, impr []float64
 		pt := Point{X: x}
@@ -414,15 +464,15 @@ func (c Config) AblationProcrastination() ([]Point, error) {
 			if err != nil {
 				return Point{}, err
 			}
-			mbkp, err := baseline.MBKP(tasks, sys, c.Cores)
+			mbkp, err := baseline.MBKPTel(tasks, sys, c.Cores, tel)
 			if err != nil {
 				return Point{}, err
 			}
-			a, err := online.Schedule(tasks, sys, online.Options{Cores: c.Cores})
+			a, err := online.Schedule(tasks, sys, online.Options{Cores: c.Cores, Telemetry: tel})
 			if err != nil {
 				return Point{}, err
 			}
-			b, err := online.Schedule(tasks, sys, online.Options{Cores: c.Cores, NoProcrastinate: true})
+			b, err := online.Schedule(tasks, sys, online.Options{Cores: c.Cores, NoProcrastinate: true, Telemetry: tel})
 			if err != nil {
 				return Point{}, err
 			}
@@ -434,6 +484,9 @@ func (c Config) AblationProcrastination() ([]Point, error) {
 		pt.SDEMON = stats.Summarize(with)
 		pt.MBKPS = stats.Summarize(without) // reused column: no-procrastination variant
 		pt.Improvement = stats.Summarize(impr)
+		tel.Count("sdem.sweep.points", 1)
+		tel.Count("sdem.sweep.cases", int64(c.Seeds))
+		tel.Count("sdem.sweep.misses", int64(pt.Misses))
 		return pt, nil
 	})
 }

@@ -12,6 +12,7 @@ import (
 	"sdem/internal/power"
 	"sdem/internal/resilient"
 	"sdem/internal/stats"
+	"sdem/internal/telemetry"
 	"sdem/internal/workload"
 )
 
@@ -36,6 +37,10 @@ type FaultConfig struct {
 	// Workers bounds the trial worker pool (default runtime.GOMAXPROCS;
 	// 1 forces sequential execution). Any value yields identical output.
 	Workers int
+	// Telemetry, when non-nil, records the sweep's solver, simulator and
+	// recovery metrics. Each (intensity, trial) replay pair runs against
+	// its own child Recorder, merged back in index order.
+	Telemetry *telemetry.Recorder
 }
 
 func (c FaultConfig) withDefaults() FaultConfig {
@@ -73,7 +78,7 @@ func FaultSweep(cfg FaultConfig) (encode.FaultSweep, error) {
 	if err != nil {
 		return encode.FaultSweep{}, err
 	}
-	sol, err := core.Solve(tasks, sys)
+	sol, err := core.SolveTel(tasks, sys, cfg.Telemetry)
 	if err != nil {
 		return encode.FaultSweep{}, err
 	}
@@ -93,7 +98,19 @@ func FaultSweep(cfg FaultConfig) (encode.FaultSweep, error) {
 		boosts, replans, races, bare int
 		overhead                     float64
 	}
-	trials, err := parallel.Map(context.Background(), cfg.Workers, len(cfg.Intensities)*cfg.Trials,
+	nTrials := len(cfg.Intensities) * cfg.Trials
+	children := make([]*telemetry.Recorder, nTrials)
+	var popts []parallel.Option
+	var stop func()
+	if cfg.Telemetry != nil {
+		for i := range children {
+			children[i] = cfg.Telemetry.Child(i)
+		}
+		pp := cfg.Telemetry.Prof.Pool("faultsweep")
+		popts = append(popts, parallel.WithHooks(parallel.Hooks{PoolStart: pp.PoolStart, TaskStart: pp.TaskStart}))
+		stop = cfg.Telemetry.Prof.Start("faultsweep")
+	}
+	trials, err := parallel.Map(context.Background(), cfg.Workers, nTrials,
 		func(_ context.Context, i int) (trialOut, error) {
 			in := cfg.Intensities[i/cfg.Trials]
 			trial := i % cfg.Trials
@@ -102,7 +119,9 @@ func FaultSweep(cfg FaultConfig) (encode.FaultSweep, error) {
 			plan := faults.Generate(gen, tasks, sys, planSeed)
 			t := trialOut{faults: len(plan.Faults)}
 
-			rec, err := resilient.Execute(sol.Schedule, tasks, sys, plan, resilient.DefaultPolicy())
+			pol := resilient.DefaultPolicy()
+			pol.Telemetry = children[i]
+			rec, err := resilient.Execute(sol.Schedule, tasks, sys, plan, pol)
 			if err != nil {
 				return trialOut{}, fmt.Errorf("intensity %g trial %d: %w", in, trial, err)
 			}
@@ -119,9 +138,17 @@ func FaultSweep(cfg FaultConfig) (encode.FaultSweep, error) {
 			}
 			t.bare = len(bare.FaultMisses)
 			return t, nil
-		})
+		}, popts...)
+	if stop != nil {
+		stop()
+	}
 	if err != nil {
 		return encode.FaultSweep{}, err
+	}
+	if cfg.Telemetry != nil {
+		for _, ch := range children {
+			cfg.Telemetry.Merge(ch)
+		}
 	}
 	for ii, in := range cfg.Intensities {
 		row := encode.FaultSweepRow{Intensity: in, Trials: cfg.Trials}

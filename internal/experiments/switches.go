@@ -6,6 +6,7 @@ import (
 
 	"sdem/internal/power"
 	"sdem/internal/stats"
+	"sdem/internal/telemetry"
 	"sdem/internal/workload"
 )
 
@@ -32,7 +33,7 @@ func (c Config) AblationSwitchOverhead() ([]SwitchPoint, error) {
 	c = c.withDefaults()
 	// Sweep from free switching to a deliberately punitive 1 mJ.
 	costs := []float64{0, 1e-6, 1e-5, 1e-4, 1e-3} //lint:allow tolconst: joule-valued switch-energy sweep points, not tolerances
-	return runGrid(c, len(costs), func(i int) (SwitchPoint, error) {
+	return runGrid(c, "switch", len(costs), func(i int, tel *telemetry.Recorder) (SwitchPoint, error) {
 		cost := costs[i]
 		sys := c.system(4, power.Milliseconds(40))
 		sys.Core.SwitchEnergy = cost
@@ -48,7 +49,7 @@ func (c Config) AblationSwitchOverhead() ([]SwitchPoint, error) {
 			if err != nil {
 				return SwitchPoint{}, err
 			}
-			cmp, err := Compare(tasks, sys, c.Cores)
+			cmp, err := CompareTel(tasks, sys, c.Cores, tel)
 			if err != nil {
 				return SwitchPoint{}, err
 			}
@@ -62,6 +63,9 @@ func (c Config) AblationSwitchOverhead() ([]SwitchPoint, error) {
 		pt.MBKPS = stats.Summarize(mbkps)
 		pt.SDEMSwitches = float64(sdemSw) / float64(c.Seeds)
 		pt.MBKPSwitches = float64(mbkpSw) / float64(c.Seeds)
+		tel.Count("sdem.sweep.points", 1)
+		tel.Count("sdem.sweep.cases", int64(c.Seeds))
+		tel.Count("sdem.sweep.misses", int64(pt.Misses))
 		return pt, nil
 	})
 }

@@ -11,6 +11,7 @@ import (
 	"sdem/internal/lint/floatcmp"
 	"sdem/internal/lint/load"
 	"sdem/internal/lint/randsource"
+	"sdem/internal/lint/telemetrycheck"
 	"sdem/internal/lint/tolconst"
 	"sdem/internal/lint/unitcheck"
 )
@@ -23,6 +24,7 @@ func Analyzers() []*analysis.Analyzer {
 		unitcheck.Analyzer,
 		auditcheck.Analyzer,
 		randsource.Analyzer,
+		telemetrycheck.Analyzer,
 	}
 }
 

@@ -1,0 +1,77 @@
+// Package telemetrycheck implements the sdemlint analyzer that quarantines
+// wall-clock reads to internal/telemetry.
+//
+// The module's determinism contract — byte-identical experiment output at
+// any worker count, with telemetry on or off — holds only because every
+// metric and trace timestamp derives from virtual schedule/sim time. A
+// time.Now (or Since/Until) anywhere in a solver, simulator or sweep path
+// smuggles nondeterminism into that chain. Wall-clock profiling is
+// legitimate but lives exclusively in internal/telemetry's Profiler,
+// whose output is segregated from the deterministic dumps. Sites outside
+// it that genuinely need wall time carry a //lint:allow telemetrycheck
+// comment stating why.
+package telemetrycheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sdem/internal/lint/analysis"
+)
+
+// Analyzer is the telemetrycheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "telemetrycheck",
+	Doc: "flags wall-clock reads (time.Now, time.Since, time.Until) outside internal/telemetry; " +
+		"use virtual schedule/sim time, route profiling through telemetry.Profiler, or suppress " +
+		"with //lint:allow telemetrycheck where wall time is the point",
+	Run: run,
+}
+
+// allowedPkgs is the wall-clock quarantine: only the telemetry package's
+// Profiler may read real time.
+var allowedPkgs = map[string]bool{
+	"sdem/internal/telemetry": true,
+}
+
+// wallClockFuncs are the package time functions that read the real clock.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg != nil && allowedPkgs[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			if pkgName.Imported().Path() != "time" {
+				return true
+			}
+			pass.Reportf(call.Pos(), "wall-clock time.%s outside internal/telemetry; use virtual schedule/sim time or the telemetry Profiler, or add //lint:allow telemetrycheck explaining why wall time is intended", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package telemetrycheck_test
+
+import (
+	"testing"
+
+	"sdem/internal/lint/analysistest"
+	"sdem/internal/lint/telemetrycheck"
+)
+
+func TestTelemetrycheck(t *testing.T) {
+	analysistest.Run(t, ".", telemetrycheck.Analyzer, "telemetrycheck")
+}

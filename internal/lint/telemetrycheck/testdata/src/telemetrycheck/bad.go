@@ -1,0 +1,22 @@
+package telemetrycheck
+
+import "time"
+
+// stampBad timestamps a trace event from the wall clock — the exact
+// nondeterminism leak the analyzer exists to catch.
+func stampBad() int64 {
+	return time.Now().UnixNano() // want "wall-clock time.Now outside internal/telemetry"
+}
+
+// measureBad hand-rolls wall-time profiling instead of going through the
+// telemetry Profiler.
+func measureBad(f func()) time.Duration {
+	t0 := time.Now() // want "wall-clock time.Now outside internal/telemetry"
+	f()
+	return time.Since(t0) // want "wall-clock time.Since outside internal/telemetry"
+}
+
+// deadlineBad converts a wall deadline into a duration.
+func deadlineBad(d time.Time) time.Duration {
+	return time.Until(d) // want "wall-clock time.Until outside internal/telemetry"
+}

@@ -1,0 +1,26 @@
+package telemetrycheck
+
+import "time"
+
+// suppressed documents why wall time is intended.
+func suppressed() int64 {
+	return time.Now().Unix() //lint:allow telemetrycheck: log-file naming wants a wall timestamp, not sim time
+}
+
+// durationsOK: time.Duration arithmetic and formatting never read the
+// clock; only Now/Since/Until are quarantined.
+func durationsOK(d time.Duration) string {
+	return (d * 2).Round(time.Microsecond).String()
+}
+
+// unrelatedNow is a different Now entirely; only package time's is
+// flagged.
+func unrelatedNow() float64 {
+	return simClock{}.Now()
+}
+
+type simClock struct{}
+
+// Now returns virtual simulation time, which is exactly what telemetry
+// should be stamped with.
+func (simClock) Now() float64 { return 0 }

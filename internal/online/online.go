@@ -19,6 +19,7 @@ import (
 	"sdem/internal/power"
 	"sdem/internal/sim"
 	"sdem/internal/task"
+	"sdem/internal/telemetry"
 )
 
 // Options tunes the SDEM-ON run.
@@ -39,6 +40,9 @@ type Options struct {
 	// "at lower speed" when utilization is low, which §4.2 planning never
 	// does); the default α ≠ 0 planning is strictly better.
 	PlanAlphaZero bool
+	// Telemetry, when non-nil, records per-plan metrics and trace events
+	// (sdem.solver.online.* plus the pool's sdem.sim.* series).
+	Telemetry *telemetry.Recorder
 }
 
 // plan is one task's share of a common-release solution.
@@ -56,6 +60,11 @@ func Schedule(tasks task.Set, sys power.System, opts Options) (*sim.Result, erro
 	if err != nil {
 		return nil, err
 	}
+	who := "sdem-on"
+	if opts.PlanAlphaZero {
+		who = "sdem-on-z"
+	}
+	pool.SetTelemetry(opts.Telemetry, who)
 	arrivals := pool.ArrivalTimes()
 	busyUntil := make([]float64, pool.Cores())
 
@@ -113,6 +122,9 @@ type Plan struct {
 // re-plan mid-execution after a fault. Infeasibility surfaces as an error
 // wrapping schedule.ErrInfeasible.
 func PlanAt(pool *sim.Pool, active []*sim.Job, now float64, opts Options) ([]Plan, float64, error) {
+	tel := opts.Telemetry
+	tel.Count("sdem.solver.online.plans", 1)
+	tel.Observe("sdem.solver.online.active_jobs", float64(len(active)))
 	sys := pool.System()
 	planSys := sys
 	if opts.PlanAlphaZero {
@@ -139,7 +151,7 @@ func PlanAt(pool *sim.Pool, active []*sim.Job, now float64, opts Options) ([]Pla
 	plans := make([]Plan, 0, len(active))
 	wake := math.Inf(1)
 	if len(virtual) > 0 {
-		sol, err := commonrelease.Solve(virtual, planSys)
+		sol, err := commonrelease.SolveTel(virtual, planSys, tel)
 		if err != nil {
 			return nil, 0, fmt.Errorf("online: planning at t=%g: %w", now, err)
 		}
@@ -165,8 +177,16 @@ func PlanAt(pool *sim.Pool, active []*sim.Job, now float64, opts Options) ([]Pla
 		plans = append(plans, Plan{TaskID: j.Task.ID, P: p, Speed: effectiveMax(sys), Urgent: true})
 		wake = now
 	}
+	tel.Count("sdem.solver.online.urgent_jobs", int64(len(urgent)))
 	if wake < now {
 		wake = now
+	}
+	if tel != nil && !math.IsInf(wake, 1) {
+		tel.Observe("sdem.solver.online.procrastination_s", wake-now)
+		tel.Instant("plan", "online", now, 0,
+			telemetry.Int("active", int64(len(active))),
+			telemetry.Int("urgent", int64(len(urgent))),
+			telemetry.Num("wake", wake))
 	}
 	return plans, wake, nil
 }

@@ -26,6 +26,39 @@ import (
 // one worker per schedulable CPU.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// Hooks observes pool execution for profiling. All fields are optional;
+// the hooks must not influence results (they run outside the determinism
+// contract — the sweep engine feeds them to wall-clock profilers only).
+type Hooks struct {
+	// PoolStart is called once, before any task, with the effective worker
+	// count and the task count.
+	PoolStart func(workers, n int)
+	// TaskStart is called in the worker's goroutine as each task begins;
+	// the function it returns (which may be nil) is called when the task
+	// ends. Tasks that never start (cancelled or after a failure) call
+	// neither.
+	TaskStart func() func()
+}
+
+// Option configures a Map call.
+type Option func(*config)
+
+type config struct {
+	hooks Hooks
+}
+
+// WithHooks attaches execution-observation hooks to the pool.
+func WithHooks(h Hooks) Option {
+	return func(c *config) { c.hooks = h }
+}
+
+func (c *config) taskStart() func() {
+	if c.hooks.TaskStart == nil {
+		return nil
+	}
+	return c.hooks.TaskStart()
+}
+
 // PanicError wraps a panic recovered inside a pool worker, carrying the
 // index whose task panicked and the stack captured at recovery so the
 // failure is debuggable after it has crossed goroutines.
@@ -50,7 +83,7 @@ func (e *PanicError) Error() string {
 // indices from running; Map then returns the failure with the smallest
 // index among those that executed, so the reported error is stable under
 // scheduling for deterministic fn.
-func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error), opts ...Option) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("parallel: negative task count %d", n)
 	}
@@ -60,13 +93,24 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 	if workers > n {
 		workers = n
 	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.hooks.PoolStart != nil {
+		cfg.hooks.PoolStart(workers, n)
+	}
 	out := make([]T, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+			done := cfg.taskStart()
 			v, err := protect(ctx, i, fn)
+			if done != nil {
+				done()
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -101,7 +145,11 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 				if i >= n || ctx.Err() != nil {
 					return
 				}
+				done := cfg.taskStart()
 				v, err := protect(ctx, i, fn)
+				if done != nil {
+					done()
+				}
 				if err != nil {
 					fail(i, err)
 					return

@@ -11,6 +11,7 @@ import (
 	"sdem/internal/schedule"
 	"sdem/internal/sim"
 	"sdem/internal/task"
+	"sdem/internal/telemetry"
 )
 
 // workTol is the relative remaining-workload tolerance of the detector;
@@ -73,6 +74,7 @@ func newExecutor(sched *schedule.Schedule, tasks task.Set, sys power.System, pla
 	}
 	pool.SetHorizon(sched.Start, sched.End)
 	pool.SetPolicies(sched.CorePolicy, sched.MemoryPolicy)
+	pool.SetTelemetry(pol.Telemetry, "resilient")
 	e := &executor{
 		input:      sched,
 		tasks:      tasks,
@@ -322,6 +324,7 @@ func (e *executor) check(j *sim.Job, now float64) {
 	if j.Remaining <= e.futureCapacity(id)+tol {
 		return
 	}
+	e.pol.Telemetry.Count("sdem.resilient.detections", 1)
 	e.threatened[id] = true
 	if !e.pol.anyRecovery() {
 		// Pure replay: the shortfall plays out and the miss is recorded
@@ -333,6 +336,26 @@ func (e *executor) check(j *sim.Job, now float64) {
 	}
 	e.recoveries[id]++
 	e.recover(j, now)
+}
+
+// logRecovery appends to the audit trail and mirrors the attempt into
+// telemetry, labeled by action.
+func (e *executor) logRecovery(r Recovery) {
+	e.log = append(e.log, r)
+	tel := e.pol.Telemetry
+	if tel == nil {
+		return
+	}
+	labels := "action=" + r.Action.String()
+	tel.CountL("sdem.resilient.recoveries", labels, 1)
+	tel.AddL("sdem.resilient.recovery_delta_j", labels, r.EnergyDelta)
+	if !r.Succeeded {
+		tel.CountL("sdem.resilient.recovery_failures", labels, 1)
+	}
+	tel.Instant("recover "+r.Action.String(), "resilient", r.Time, 0,
+		telemetry.Int("task", int64(r.TaskID)),
+		telemetry.Num("delta_j", r.EnergyDelta),
+		telemetry.Str("reason", r.Reason))
 }
 
 // recover walks the chain: boost, re-plan, race.
@@ -365,7 +388,7 @@ func (e *executor) recover(j *sim.Job, now float64) {
 				ev := event{taskID: id, core: core, start: start, end: start + j.Remaining/speed, speed: speed}
 				ev.quantum = (ev.end - ev.start) / float64(e.pol.Checkpoints)
 				e.push(ev)
-				e.log = append(e.log, Recovery{
+				e.logRecovery(Recovery{
 					Time: now, TaskID: id, Action: ActionBoost, Reason: reason,
 					EnergyDelta: sys.Core.EnergyFor(j.Remaining, speed) - cancelled,
 					Succeeded:   true,
@@ -392,7 +415,7 @@ func (e *executor) recover(j *sim.Job, now float64) {
 		ev := event{taskID: id, core: core, start: start, end: start + j.Remaining/speed, speed: speed}
 		ev.quantum = (ev.end - ev.start) / float64(e.pol.Checkpoints)
 		e.push(ev)
-		e.log = append(e.log, Recovery{
+		e.logRecovery(Recovery{
 			Time: now, TaskID: id, Action: ActionRace, Reason: reason,
 			EnergyDelta: sys.Core.EnergyFor(j.Remaining, speed) - cancelled,
 			Succeeded:   ev.end <= j.Task.Deadline+schedule.Tol,
@@ -425,7 +448,7 @@ func (e *executor) replan(trigger *sim.Job, now float64, reason string) bool {
 	if len(active) == 0 {
 		return false
 	}
-	opts := online.Options{Cores: e.pool.Cores(), PlanAlphaZero: e.pol.PlanAlphaZero}
+	opts := online.Options{Cores: e.pool.Cores(), PlanAlphaZero: e.pol.PlanAlphaZero, Telemetry: e.pol.Telemetry}
 	plans, _, err := online.PlanAt(e.pool, active, now, opts)
 	if err != nil {
 		return false // wraps schedule.ErrInfeasible: no schedule can help
@@ -482,7 +505,7 @@ func (e *executor) replan(trigger *sim.Job, now float64, reason string) bool {
 			triggerOK = ev.end <= j.Task.Deadline+schedule.Tol
 		}
 	}
-	e.log = append(e.log, Recovery{
+	e.logRecovery(Recovery{
 		Time: now, TaskID: trigger.Task.ID, Action: ActionReplan, Reason: reason,
 		EnergyDelta: newCost - cancelled,
 		Succeeded:   triggerOK,
@@ -541,6 +564,12 @@ func (e *executor) finish() (*Result, error) {
 	}
 	res.SpuriousWakeEnergy = e.spuriousEnergy(simRes.Schedule)
 	res.Energy = simRes.Energy + res.WakeStallEnergy + res.SpuriousWakeEnergy
+	tel := e.pol.Telemetry
+	tel.Count("sdem.resilient.planned_misses", int64(len(res.PlannedMisses)))
+	tel.Count("sdem.resilient.fault_misses", int64(len(res.FaultMisses)))
+	tel.Count("sdem.resilient.averted", int64(len(res.Averted)))
+	tel.Add("sdem.resilient.wake_stall_j", res.WakeStallEnergy)
+	tel.Add("sdem.resilient.spurious_wake_j", res.SpuriousWakeEnergy)
 	return res, nil
 }
 

@@ -44,6 +44,7 @@ import (
 	"sdem/internal/schedule"
 	"sdem/internal/sim"
 	"sdem/internal/task"
+	"sdem/internal/telemetry"
 )
 
 // Policy selects which recovery actions the runtime may take and tunes
@@ -68,6 +69,9 @@ type Policy struct {
 	// PlanAlphaZero forwards to the §4 re-planner (see
 	// online.Options.PlanAlphaZero).
 	PlanAlphaZero bool
+	// Telemetry, when non-nil, records detection/recovery metrics and
+	// trace events (sdem.resilient.* plus the pool's sdem.sim.* series).
+	Telemetry *telemetry.Recorder
 }
 
 // DefaultPolicy enables the full recovery chain with default detection.

@@ -256,6 +256,15 @@ func busyIntervals(segs []Segment) []Interval {
 	return MergeIntervals(ivs)
 }
 
+// BusyIntervals returns the merged busy intervals of a segment list —
+// the exported form of the audit's own merging, so trace emitters
+// attribute idle intervals exactly as the audit charges them.
+func BusyIntervals(segs []Segment) []Interval { return busyIntervals(segs) }
+
+// Gaps returns the idle intervals of the horizon [start, end] not
+// covered by the (merged, sorted) busy intervals.
+func Gaps(busy []Interval, start, end float64) []Interval { return gaps(busy, start, end) }
+
 // MergeIntervals sorts and merges overlapping or Tol-adjacent intervals.
 func MergeIntervals(ivs []Interval) []Interval {
 	if len(ivs) == 0 {
@@ -339,6 +348,14 @@ type Breakdown struct {
 func (b Breakdown) Total() float64 {
 	return b.CoreDynamic + b.CoreStatic + b.CoreTransition + b.CoreSwitch +
 		b.MemoryStatic + b.MemoryTransition
+}
+
+// Sleeps reports whether a gap of length g puts a component with static
+// power alpha and break-even time xi to sleep under policy p — the same
+// decision the audit's gap charging makes.
+func (p SleepPolicy) Sleeps(g, alpha, xi float64) bool {
+	_, _, slept, _ := gapCost(g, alpha, xi, p)
+	return slept > 0
 }
 
 // gapCost charges one idle gap of length g for a component with static

@@ -17,6 +17,7 @@ import (
 	"sdem/internal/power"
 	"sdem/internal/schedule"
 	"sdem/internal/task"
+	"sdem/internal/telemetry"
 )
 
 // workTol is the relative remaining-workload tolerance below which a job
@@ -56,6 +57,9 @@ type Pool struct {
 	sched   *schedule.Schedule
 	now     float64
 	limiter SpeedLimiter
+
+	tel      *telemetry.Recorder
+	telLabel string
 }
 
 // NewPool prepares an online run over the task set. cores is the number
@@ -166,6 +170,17 @@ func (p *Pool) DelayRelease(id int, dt float64) error {
 	return nil
 }
 
+// SetTelemetry attaches a telemetry recorder; who names the policy
+// driving the pool and becomes the "sched" label on every sdem.sim.*
+// metric (empty for unlabeled). A nil recorder disables instrumentation.
+func (p *Pool) SetTelemetry(tel *telemetry.Recorder, who string) {
+	p.tel = tel
+	p.telLabel = ""
+	if who != "" {
+		p.telLabel = "sched=" + who
+	}
+}
+
 // SetSpeedLimiter installs an execution-time speed perturbation applied to
 // every subsequent Run. A nil limiter removes it.
 func (p *Pool) SetSpeedLimiter(f SpeedLimiter) { p.limiter = f }
@@ -243,10 +258,12 @@ func (p *Pool) Run(taskID, core int, t0, t1, speed float64) (float64, error) {
 	}
 	if p.sys.Core.SpeedMax > 0 && speed > p.sys.Core.SpeedMax {
 		speed = p.sys.Core.SpeedMax // silently cap: the miss detector judges the result
+		p.tel.CountL("sdem.sim.speed_caps", p.telLabel, 1)
 	}
 	if p.limiter != nil {
 		if eff := p.limiter(core, t0, t1, speed); eff > 0 && eff < speed {
 			speed = eff // the achieved speed is what the audit charges
+			p.tel.CountL("sdem.sim.throttles", p.telLabel, 1)
 		}
 	}
 	j.Core = core
@@ -267,6 +284,8 @@ func (p *Pool) Run(taskID, core int, t0, t1, speed float64) (float64, error) {
 		j.missed = true
 	}
 	p.sched.Add(core, schedule.Segment{TaskID: taskID, Start: t0, End: t1, Speed: speed})
+	p.tel.CountL("sdem.sim.segments", p.telLabel, 1)
+	p.tel.ObserveL("sdem.sim.segment_s", p.telLabel, t1-t0)
 	if t1 > p.now {
 		p.now = t1
 	}
@@ -346,6 +365,9 @@ func (p *Pool) Finish() (*Result, error) {
 		m.MeanLaxity /= float64(m.Completed)
 	}
 	b := schedule.Audit(p.sched, p.sys)
+	if p.tel != nil {
+		p.recordFinish(b, misses, m)
+	}
 	return &Result{
 		Schedule:    p.sched,
 		Misses:      misses,

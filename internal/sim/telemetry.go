@@ -1,0 +1,145 @@
+// Telemetry instrumentation of the pool: per-component energy
+// attribution, sleep/wake accounting, and trace emission of the as-run
+// schedule on virtual time.
+package sim
+
+import (
+	"strconv"
+
+	"sdem/internal/schedule"
+	"sdem/internal/telemetry"
+)
+
+// EnergyBreakdown is the public per-component energy attribution of a
+// run: the four ledgers the paper's trade-off argument is made of.
+// Components always sum to the audited total (asserted in tests within
+// numeric tolerance).
+type EnergyBreakdown struct {
+	// Dynamic is the speed-dependent core execution energy (Σ β·s^λ·t).
+	Dynamic float64
+	// CoreStatic is core leakage over execution and unslept idle.
+	CoreStatic float64
+	// MemoryStatic is memory leakage over busy and unslept idle time.
+	MemoryStatic float64
+	// Transition aggregates all mode-change overheads: core and memory
+	// sleep transitions plus DVS switch energy.
+	Transition float64
+}
+
+// Total returns the sum of the components.
+func (e EnergyBreakdown) Total() float64 {
+	return e.Dynamic + e.CoreStatic + e.MemoryStatic + e.Transition
+}
+
+// ComponentBreakdown folds the audit's itemized ledger into the
+// four-way public attribution.
+func ComponentBreakdown(b schedule.Breakdown) EnergyBreakdown {
+	return EnergyBreakdown{
+		Dynamic:      b.CoreDynamic,
+		CoreStatic:   b.CoreStatic,
+		MemoryStatic: b.MemoryStatic,
+		Transition:   b.CoreTransition + b.MemoryTransition + b.CoreSwitch,
+	}
+}
+
+// EnergyBreakdown returns the run's per-component energy attribution
+// under the schedule's audited sleep policies.
+func (r *Result) EnergyBreakdown() EnergyBreakdown {
+	return ComponentBreakdown(r.Breakdown)
+}
+
+// label joins the pool's scheduler label with an extra "k=v" pair,
+// keeping keys in alphabetical order (component < sched).
+func (p *Pool) label(extra string) string {
+	if p.telLabel == "" {
+		return extra
+	}
+	if extra == "" {
+		return p.telLabel
+	}
+	return extra + "," + p.telLabel
+}
+
+// recordFinish charges the audited run into the recorder and emits the
+// as-run schedule as a trace. Called from Finish only when telemetry is
+// attached, so the disabled path pays nothing beyond one nil check.
+func (p *Pool) recordFinish(b schedule.Breakdown, misses []int, m Metrics) {
+	tel, l := p.tel, p.telLabel
+
+	// Per-component energy attribution (satellite of the audit ledger).
+	e := ComponentBreakdown(b)
+	tel.AddL("sdem.sim.energy_j", p.label("component=dynamic"), e.Dynamic)
+	tel.AddL("sdem.sim.energy_j", p.label("component=core_static"), e.CoreStatic)
+	tel.AddL("sdem.sim.energy_j", p.label("component=memory_static"), e.MemoryStatic)
+	tel.AddL("sdem.sim.energy_j", p.label("component=transition"), e.Transition)
+
+	// Sleep/wake and switching event counts, straight from the audit.
+	tel.CountL("sdem.sim.core_sleeps", l, int64(b.CoreSleeps))
+	tel.CountL("sdem.sim.memory_sleeps", l, int64(b.MemorySleeps))
+	tel.CountL("sdem.sim.speed_switches", l, int64(b.SpeedSwitches))
+	tel.AddL("sdem.sim.memory_sleep_s", l, b.MemorySleep)
+	tel.CountL("sdem.sim.misses", l, int64(len(misses)))
+	tel.CountL("sdem.sim.runs", l, 1)
+	if m.Completed > 0 {
+		tel.ObserveL("sdem.sim.response_s", l, m.MeanResponse)
+	}
+
+	p.emitTrace(misses)
+}
+
+// emitTrace renders the normalized schedule as trace spans on virtual
+// time. Lane convention: tid 0 is the memory, tid k+1 is core k. Idle
+// gaps are classified exactly as the audit charges them (sleep vs.
+// idle-active) via the schedule's policies.
+func (p *Pool) emitTrace(misses []int) {
+	s := p.sched
+	for c, segs := range s.Cores {
+		tid := c + 1
+		for _, sg := range segs {
+			p.tel.Span("task "+strconv.Itoa(sg.TaskID), "sim", sg.Start, sg.End, tid,
+				telemetry.Int("task", int64(sg.TaskID)),
+				telemetry.Num("speed", sg.Speed))
+		}
+		if len(segs) == 0 {
+			continue
+		}
+		for _, g := range schedule.Gaps(schedule.BusyIntervals(segs), s.Start, s.End) {
+			name := "core idle"
+			if s.CorePolicy.Sleeps(g.Len(), p.sys.Core.Static, p.sys.Core.BreakEven) {
+				name = "core sleep"
+			}
+			p.tel.Span(name, "sim", g.Start, g.End, tid)
+		}
+	}
+	busy := s.MemoryBusy()
+	for _, iv := range busy {
+		p.tel.Span("memory active", "sim", iv.Start, iv.End, 0)
+	}
+	for _, g := range schedule.Gaps(busy, s.Start, s.End) {
+		name := "memory idle"
+		if s.MemoryPolicy.Sleeps(g.Len(), p.sys.Memory.Static, p.sys.Memory.BreakEven) {
+			name = "memory sleep"
+		}
+		p.tel.Span(name, "sim", g.Start, g.End, 0)
+	}
+	for _, id := range misses {
+		j := p.jobs[id]
+		tid := 0
+		if j != nil && j.Core >= 0 {
+			tid = j.Core + 1
+		}
+		p.tel.Instant("deadline miss", "sim", p.missTime(j), tid, telemetry.Int("task", int64(id)))
+	}
+}
+
+// missTime picks the trace timestamp of a miss: the late completion, or
+// the deadline for jobs that never finished.
+func (p *Pool) missTime(j *Job) float64 {
+	if j == nil {
+		return p.sched.End
+	}
+	if j.Done {
+		return j.Completed
+	}
+	return j.Task.Deadline
+}

@@ -1,0 +1,56 @@
+package telemetry
+
+import "testing"
+
+// workload is the arithmetic body shared by the benchmark variants, so
+// the only difference between them is the instrumentation itself.
+func workload(i int) float64 {
+	x := float64(i%97) * 0.013
+	return x*x + 1
+}
+
+// BenchmarkUninstrumented is the baseline: the workload with no
+// telemetry calls at all.
+func BenchmarkUninstrumented(b *testing.B) {
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += workload(i)
+	}
+	sink = acc
+}
+
+// BenchmarkTelemetryDisabled guards the zero-cost-when-disabled
+// guarantee: the same workload with nil-recorder instrumentation on
+// every iteration must sit within noise of BenchmarkUninstrumented and
+// allocate nothing.
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		v := workload(i)
+		r.Count("sdem.bench.iters", 1)
+		r.Add("sdem.bench.sum", v)
+		r.Observe("sdem.bench.value", v)
+		acc += v
+	}
+	sink = acc
+}
+
+// BenchmarkTelemetryEnabled documents the enabled-path cost for scale
+// planning; it is not part of the overhead guarantee.
+func BenchmarkTelemetryEnabled(b *testing.B) {
+	r := New()
+	b.ReportAllocs()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		v := workload(i)
+		r.Count("sdem.bench.iters", 1)
+		r.Add("sdem.bench.sum", v)
+		r.Observe("sdem.bench.value", v)
+		acc += v
+	}
+	sink = acc
+}
+
+var sink float64

@@ -1,0 +1,203 @@
+// Wall-clock profiling hooks.
+//
+// This file is the ONLY place in the module allowed to read wall-clock
+// time (enforced by the telemetrycheck lint analyzer). Profiler output is
+// inherently nondeterministic, so it is reported in its own section —
+// never mixed into the deterministic metrics dump — and is written to
+// stderr by the CLIs so experiment stdout stays byte-identical.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Family accumulates wall-time, allocation, and worker-pool statistics
+// for one sweep family (or any named unit of work).
+type Family struct {
+	Name string
+
+	// Set by Profiler.Start/stop.
+	Runs       int
+	Wall       time.Duration
+	AllocBytes uint64 // process-global TotalAlloc delta: approximate under concurrency
+	Allocs     uint64 // process-global Mallocs delta: approximate under concurrency
+
+	// Set by PoolProfile hooks.
+	Workers     int
+	Tasks       int
+	Busy        time.Duration // summed task execution time across workers
+	QueueWait   time.Duration // summed dispatch-to-start latency
+	PeakWorkers int
+}
+
+// Profiler owns the per-family wall-clock accounting. A nil Profiler
+// no-ops everywhere.
+type Profiler struct {
+	mu       sync.Mutex
+	families []*Family
+	byName   map[string]*Family
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{byName: make(map[string]*Family)}
+}
+
+func (p *Profiler) family(name string) *Family {
+	f := p.byName[name]
+	if f == nil {
+		f = &Family{Name: name}
+		p.byName[name] = f
+		p.families = append(p.families, f)
+	}
+	return f
+}
+
+// Start begins a wall-time + allocation measurement for the named family
+// and returns the function that stops it. Allocation deltas come from
+// runtime.MemStats and are process-global, so they are attributable only
+// when families run one at a time (which the sweep driver does).
+func (p *Profiler) Start(name string) func() {
+	if p == nil {
+		return func() {}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	alloc0, mallocs0 := ms.TotalAlloc, ms.Mallocs
+	t0 := time.Now()
+	return func() {
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&ms)
+		p.mu.Lock()
+		f := p.family(name)
+		f.Runs++
+		f.Wall += wall
+		f.AllocBytes += ms.TotalAlloc - alloc0
+		f.Allocs += ms.Mallocs - mallocs0
+		p.mu.Unlock()
+	}
+}
+
+// Pool returns the worker-pool profile hooked to the named family.
+func (p *Profiler) Pool(name string) *PoolProfile {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	f := p.family(name)
+	p.mu.Unlock()
+	return &PoolProfile{prof: p, fam: f}
+}
+
+// PoolProfile adapts a Family to the hook points internal/parallel
+// exposes: pool start, per-task start/done. It measures worker occupancy
+// (busy time vs. wall), queue wait (dispatch-to-start), and peak
+// concurrency. A nil PoolProfile no-ops.
+type PoolProfile struct {
+	prof    *Profiler
+	fam     *Family
+	mu      sync.Mutex
+	started time.Time
+	running int
+}
+
+// PoolStart marks the pool launch; queue wait for each task is measured
+// from this instant.
+func (pp *PoolProfile) PoolStart(workers, n int) {
+	if pp == nil {
+		return
+	}
+	pp.mu.Lock()
+	pp.started = time.Now()
+	pp.mu.Unlock()
+	pp.prof.mu.Lock()
+	pp.fam.Workers = workers
+	pp.prof.mu.Unlock()
+}
+
+// TaskStart marks one task beginning execution and returns the function
+// that marks it done.
+func (pp *PoolProfile) TaskStart() func() {
+	if pp == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	pp.mu.Lock()
+	wait := t0.Sub(pp.started)
+	pp.running++
+	running := pp.running
+	pp.mu.Unlock()
+	pp.prof.mu.Lock()
+	pp.fam.Tasks++
+	pp.fam.QueueWait += wait
+	if running > pp.fam.PeakWorkers {
+		pp.fam.PeakWorkers = running
+	}
+	pp.prof.mu.Unlock()
+	return func() {
+		busy := time.Since(t0)
+		pp.mu.Lock()
+		pp.running--
+		pp.mu.Unlock()
+		pp.prof.mu.Lock()
+		pp.fam.Busy += busy
+		pp.prof.mu.Unlock()
+	}
+}
+
+// Report writes the per-family profile in first-start order. The output
+// is wall-clock derived and intentionally not part of the deterministic
+// metrics contract.
+func (p *Profiler) Report(w io.Writer) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	fams := make([]*Family, len(p.families))
+	copy(fams, p.families)
+	p.mu.Unlock()
+	if len(fams) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "# sdem telemetry profile (wall-clock; nondeterministic)"); err != nil {
+		return err
+	}
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "family %s runs=%d wall=%s alloc_bytes=%d allocs=%d",
+			f.Name, f.Runs, f.Wall.Round(time.Microsecond), f.AllocBytes, f.Allocs); err != nil {
+			return err
+		}
+		if f.Tasks > 0 {
+			occ := 0.0
+			if f.Wall > 0 && f.Workers > 0 {
+				occ = float64(f.Busy) / (float64(f.Wall) * float64(f.Workers))
+			}
+			if _, err := fmt.Fprintf(w, " workers=%d tasks=%d busy=%s queue_wait=%s peak=%d occupancy=%.2f",
+				f.Workers, f.Tasks, f.Busy.Round(time.Microsecond), f.QueueWait.Round(time.Microsecond), f.PeakWorkers, occ); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Families returns the profiled families sorted by name (for tests).
+func (p *Profiler) Families() []*Family {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	out := make([]*Family, len(p.families))
+	copy(out, p.families)
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,261 @@
+// Structured event tracing on virtual time.
+//
+// Trace events carry timestamps in schedule/sim seconds — never
+// wall-clock — so a trace is a pure function of the experiment inputs and
+// replays identically. Events are emitted either as JSONL (one
+// hand-marshaled object per line, fixed field order) or as Chrome
+// trace_event JSON loadable in chrome://tracing and ui.perfetto.dev,
+// with seconds scaled to the microseconds that format expects.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Arg is one key/value annotation on a trace event. Values are stored as
+// strings so marshaling is allocation-free and field order is fixed.
+type Arg struct {
+	Key string
+	Val string
+}
+
+// Str builds a string-valued trace argument.
+func Str(key, val string) Arg { return Arg{key, val} }
+
+// Num builds a numeric trace argument with full round-trip precision.
+func Num(key string, v float64) Arg { return Arg{key, ftoa(v)} }
+
+// Int builds an integer-valued trace argument.
+func Int(key string, v int64) Arg { return Arg{key, strconv.FormatInt(v, 10)} }
+
+// Event is one trace record. Phase 'X' is a complete span with duration;
+// phase 'i' is an instant. TS and Dur are virtual seconds; PID groups
+// events by work item (e.g. sweep grid point) and TID by lane within it
+// (tid 0 = memory, tid k+1 = core k, by convention in the sim).
+type Event struct {
+	Name  string
+	Cat   string
+	Phase byte
+	TS    float64
+	Dur   float64
+	PID   int
+	TID   int
+	Args  []Arg
+}
+
+// Span records a completed interval [start, end] in virtual seconds on
+// lane tid. Degenerate spans (end ≤ start) are recorded with zero
+// duration rather than dropped, so counts stay exact.
+func (r *Recorder) Span(name, cat string, start, end float64, tid int, args ...Arg) {
+	if r == nil {
+		return
+	}
+	d := end - start
+	if d < 0 {
+		d = 0
+	}
+	r.mu.Lock()
+	r.events = append(r.events, Event{Name: name, Cat: cat, Phase: 'X', TS: start, Dur: d, PID: r.pid, TID: tid, Args: args})
+	r.mu.Unlock()
+}
+
+// Instant records a point event at virtual time ts on lane tid.
+func (r *Recorder) Instant(name, cat string, ts float64, tid int, args ...Arg) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, Event{Name: name, Cat: cat, Phase: 'i', TS: ts, PID: r.pid, TID: tid, Args: args})
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in stable sorted order:
+// by (PID, TS, TID, Name). Sorting is stable so equal-key events keep
+// their recording order, which is itself deterministic.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		//lint:allow floatcmp: sort tie-breaking must be exact to keep the comparator transitive
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		return a.Name < b.Name
+	})
+	return out
+}
+
+// jsonString escapes s as a JSON string literal. Hand-rolled so both
+// writers share one deterministic escaper with no reflection.
+func jsonString(b *strings.Builder, s string) {
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case c == '\n':
+			b.WriteString(`\n`)
+		case c == '\t':
+			b.WriteString(`\t`)
+		case c < 0x20:
+			fmt.Fprintf(b, `\u%04x`, c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+}
+
+func writeArgs(b *strings.Builder, args []Arg) {
+	b.WriteByte('{')
+	for i, a := range args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		jsonString(b, a.Key)
+		b.WriteByte(':')
+		jsonString(b, a.Val)
+	}
+	b.WriteByte('}')
+}
+
+// WriteTraceJSONL emits one JSON object per event with fixed field order
+// (name, cat, ph, ts, dur, pid, tid, args), timestamps in virtual
+// seconds. Output is byte-stable for a given computation.
+func (r *Recorder) WriteTraceJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(`{"name":`)
+		jsonString(&b, e.Name)
+		b.WriteString(`,"cat":`)
+		jsonString(&b, e.Cat)
+		b.WriteString(`,"ph":"`)
+		b.WriteByte(e.Phase)
+		b.WriteString(`","ts":`)
+		b.WriteString(ftoa(e.TS))
+		if e.Phase == 'X' {
+			b.WriteString(`,"dur":`)
+			b.WriteString(ftoa(e.Dur))
+		}
+		b.WriteString(`,"pid":`)
+		b.WriteString(strconv.Itoa(e.PID))
+		b.WriteString(`,"tid":`)
+		b.WriteString(strconv.Itoa(e.TID))
+		if len(e.Args) > 0 {
+			b.WriteString(`,"args":`)
+			writeArgs(&b, e.Args)
+		}
+		b.WriteString("}\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteChromeTrace emits the Chrome trace_event JSON array format.
+// Virtual seconds are scaled to the format's microseconds; metadata
+// events name each pid "grid point <pid>" and each tid lane ("memory" /
+// "core <k>") so Perfetto renders sim traces legibly. Output is
+// byte-stable for a given computation.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	events := r.Events()
+	pids := map[int]bool{}
+	type lane struct{ pid, tid int }
+	lanes := map[lane]bool{}
+	for _, e := range events {
+		pids[e.PID] = true
+		lanes[lane{e.PID, e.TID}] = true
+	}
+	pidList := make([]int, 0, len(pids))
+	for p := range pids {
+		pidList = append(pidList, p)
+	}
+	sort.Ints(pidList)
+	laneList := make([]lane, 0, len(lanes))
+	for l := range lanes {
+		laneList = append(laneList, l)
+	}
+	sort.Slice(laneList, func(i, j int) bool {
+		if laneList[i].pid != laneList[j].pid {
+			return laneList[i].pid < laneList[j].pid
+		}
+		return laneList[i].tid < laneList[j].tid
+	})
+
+	var b strings.Builder
+	b.WriteString("[")
+	first := true
+	meta := func(name string, pid, tid int, argKey, argVal string) {
+		if !first {
+			b.WriteString(",")
+		}
+		first = false
+		b.WriteString("\n")
+		fmt.Fprintf(&b, `{"name":%q,"ph":"M","pid":%d,"tid":%d,"args":{%q:%q}}`, name, pid, tid, argKey, argVal)
+	}
+	for _, p := range pidList {
+		meta("process_name", p, 0, "name", fmt.Sprintf("grid point %d", p))
+	}
+	for _, l := range laneList {
+		name := "memory"
+		if l.tid > 0 {
+			name = fmt.Sprintf("core %d", l.tid-1)
+		}
+		meta("thread_name", l.pid, l.tid, "name", name)
+	}
+	for _, e := range events {
+		if !first {
+			b.WriteString(",")
+		}
+		first = false
+		b.WriteString("\n")
+		b.WriteString(`{"name":`)
+		jsonString(&b, e.Name)
+		b.WriteString(`,"cat":`)
+		jsonString(&b, e.Cat)
+		b.WriteString(`,"ph":"`)
+		b.WriteByte(e.Phase)
+		b.WriteString(`","ts":`)
+		b.WriteString(ftoa(e.TS * 1e6))
+		if e.Phase == 'X' {
+			b.WriteString(`,"dur":`)
+			b.WriteString(ftoa(e.Dur * 1e6))
+		}
+		if e.Phase == 'i' {
+			b.WriteString(`,"s":"t"`)
+		}
+		b.WriteString(`,"pid":`)
+		b.WriteString(strconv.Itoa(e.PID))
+		b.WriteString(`,"tid":`)
+		b.WriteString(strconv.Itoa(e.TID))
+		b.WriteString(`,"args":`)
+		writeArgs(&b, e.Args)
+		b.WriteString(`}`)
+	}
+	b.WriteString("\n]\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

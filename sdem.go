@@ -37,6 +37,7 @@ import (
 	"sdem/internal/schedule"
 	"sdem/internal/sim"
 	"sdem/internal/task"
+	"sdem/internal/telemetry"
 	"sdem/internal/trace"
 	"sdem/internal/workload"
 )
@@ -122,6 +123,36 @@ type Solution = core.Solution
 // algorithm in the paper; use ScheduleOnline for them.
 func Solve(tasks TaskSet, sys System) (*Solution, error) {
 	return core.Solve(tasks, sys)
+}
+
+// Telemetry is the module's metrics/trace recorder. A nil *Telemetry is
+// the valid disabled state: every recording method on it is a no-op, so
+// instrumented code needs no conditionals and pays nothing when
+// observability is off.
+type Telemetry = telemetry.Recorder
+
+// NewTelemetry returns an enabled recorder to pass to the Tel solver
+// variants, OnlineOptions.Telemetry, RecoveryPolicy.Telemetry, or the
+// experiment harness.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// SolveTel is Solve with telemetry: solver counters and timings are
+// recorded under sdem.solver.* and sim activity under sdem.sim.*. A nil
+// recorder makes it identical to Solve.
+func SolveTel(tasks TaskSet, sys System, tel *Telemetry) (*Solution, error) {
+	return core.SolveTel(tasks, sys, tel)
+}
+
+// ComponentEnergy attributes an online run's audited energy to the four
+// components of the paper's model: core dynamic, core static, memory
+// static, and transition overhead. Obtain one from
+// OnlineResult.EnergyBreakdown or ComponentBreakdown.
+type ComponentEnergy = sim.EnergyBreakdown
+
+// ComponentBreakdown folds an audited EnergyBreakdown into the
+// four-component attribution; the components sum to the audit total.
+func ComponentBreakdown(b EnergyBreakdown) ComponentEnergy {
+	return sim.ComponentBreakdown(b)
 }
 
 // ScheduleOnline runs the SDEM-ON heuristic of §6 (with the §7

@@ -250,3 +250,48 @@ func TestCortexA7Facade(t *testing.T) {
 		t.Error("A7 must peak below A57")
 	}
 }
+
+func TestTelemetryFacade(t *testing.T) {
+	sys := DefaultSystem()
+	tasks := TaskSet{
+		{ID: 1, Release: 0, Deadline: Milliseconds(60), Workload: 3e6},
+		{ID: 2, Release: 0, Deadline: Milliseconds(90), Workload: 4e6},
+	}
+
+	// SolveTel with a nil recorder must match Solve exactly.
+	plain, err := Solve(tasks, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet, err := SolveTel(tasks, sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.Energy-quiet.Energy) > 1e-12 {
+		t.Errorf("SolveTel(nil) energy %g != Solve %g", quiet.Energy, plain.Energy)
+	}
+
+	// An enabled recorder must observe the solver layer without changing it.
+	tel := NewTelemetry()
+	loud, err := SolveTel(tasks, sys, tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.Energy-loud.Energy) > 1e-12 {
+		t.Errorf("telemetry perturbed the solution: %g != %g", loud.Energy, plain.Energy)
+	}
+	var dump strings.Builder
+	if err := tel.WriteMetrics(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dump.String(), "sdem.solver.cr.solves") {
+		t.Errorf("metrics dump missing solver counters:\n%s", dump.String())
+	}
+
+	// The public component attribution must sum to the audited total.
+	b := Audit(plain.Schedule, sys)
+	comp := ComponentBreakdown(b)
+	if math.Abs(comp.Total()-b.Total()) > 1e-9 {
+		t.Errorf("component sum %g != audit total %g", comp.Total(), b.Total())
+	}
+}
