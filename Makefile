@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test lint fmt fuzz trace-demo
+.PHONY: check build vet test lint fmt fuzz trace-demo bench
 
 # check chains the same steps CI runs (.github/workflows/ci.yml).
 check: build vet test lint
@@ -28,6 +28,16 @@ trace-demo:
 	$(GO) run ./cmd/experiments -run fig6a -seeds 2 -tasks 12 \
 		-telemetry -metrics-out=trace-demo.metrics -trace-out=trace-demo.json
 	@echo "wrote trace-demo.metrics and trace-demo.json (load the .json in ui.perfetto.dev)"
+
+# bench runs the fast micro-benchmarks and snapshots them to
+# BENCH_5.json via cmd/benchreport, so baselines can be diffed in review.
+# The figure-scale sweeps (Fig6*/Fig7*/Table3/Sweep*) are excluded: they
+# take minutes and are run manually when sweep performance is the topic.
+bench:
+	$(GO) test -run '^$$' \
+		-bench 'SolveCommonRelease|SolveAgreeableDP|SolveHeterogeneous|ScheduleOnline|MBKPBaseline|Audit|FFT1024|PartitionExact|Quantize|LowerBound|Telemetry|Uninstrumented|SnapshotDisabled' \
+		-benchmem ./... | tee /dev/stderr | $(GO) run ./cmd/benchreport -out BENCH_5.json
+	@echo "wrote BENCH_5.json"
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,157 @@
+// Command benchreport converts `go test -bench -benchmem` output into a
+// stable JSON snapshot so benchmark baselines can be committed and
+// diffed across PRs.
+//
+// Usage:
+//
+//	go test -bench 'Solve|Audit' -benchmem ./... | go run ./cmd/benchreport -out BENCH_5.json
+//
+// The report strips the -N GOMAXPROCS suffix from benchmark names,
+// records ns/op, B/op, and allocs/op plus any custom unit columns, and
+// sorts entries by name so the file is deterministic for a fixed
+// benchmark outcome.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64          `json:"allocs_per_op,omitempty"`
+	Custom     map[string]float64 `json:"custom,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	GoVersion  string  `json:"go_version,omitempty"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	report, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchreport: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+type lineScanner interface {
+	Scan() bool
+	Text() string
+	Err() error
+}
+
+func parse(sc lineScanner) (Report, error) {
+	var report Report
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"), strings.HasPrefix(line, "cpu:"):
+			// environment header, ignored
+		case strings.HasPrefix(line, "go version") || strings.HasPrefix(line, "go1"):
+			if report.GoVersion == "" {
+				report.GoVersion = line
+			}
+		case strings.HasPrefix(line, "Benchmark"):
+			e, ok := parseBench(line)
+			if !ok {
+				continue
+			}
+			e.Package = pkg
+			report.Benchmarks = append(report.Benchmarks, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return report, err
+	}
+	sort.Slice(report.Benchmarks, func(i, j int) bool {
+		a, b := report.Benchmarks[i], report.Benchmarks[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		return a.Name < b.Name
+	})
+	return report, nil
+}
+
+// parseBench parses one result line, e.g.
+//
+//	BenchmarkAudit-8   12345   9876 ns/op   120 B/op   3 allocs/op
+func parseBench(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Entry{}, false
+	}
+	name := fields[0]
+	// Strip the -N GOMAXPROCS suffix if present.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Name: name, Iterations: iters}
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = v
+		case "B/op":
+			val := v
+			e.BytesPerOp = &val
+		case "allocs/op":
+			val := v
+			e.AllocsPerOp = &val
+		default:
+			if e.Custom == nil {
+				e.Custom = map[string]float64{}
+			}
+			e.Custom[unit] = v
+		}
+	}
+	return e, true
+}

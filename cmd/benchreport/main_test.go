@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: sdem
+cpu: Some CPU @ 2.40GHz
+BenchmarkAudit-8        	   12345	      9876 ns/op	     120 B/op	       3 allocs/op
+BenchmarkSolveCommonRelease-8	     500	   2000000 ns/op	   0.123 joules	  1024 B/op	      17 allocs/op
+PASS
+pkg: sdem/internal/telemetry
+BenchmarkTelemetryDisabled-8	100000000	      1.23 ns/op	       0 B/op	       0 allocs/op
+ok  	sdem	1.234s
+`
+
+func TestParse(t *testing.T) {
+	report, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(report.Benchmarks))
+	}
+	// Sorted by (package, name): sdem first, then sdem/internal/telemetry.
+	audit := report.Benchmarks[0]
+	if audit.Name != "BenchmarkAudit" || audit.Package != "sdem" {
+		t.Errorf("first entry = %+v", audit)
+	}
+	if audit.Iterations != 12345 || audit.NsPerOp != 9876 {
+		t.Errorf("audit values = %+v", audit)
+	}
+	if audit.BytesPerOp == nil || *audit.BytesPerOp != 120 || audit.AllocsPerOp == nil || *audit.AllocsPerOp != 3 {
+		t.Errorf("audit memstats = %+v", audit)
+	}
+	solve := report.Benchmarks[1]
+	if solve.Custom["joules"] != 0.123 {
+		t.Errorf("custom unit lost: %+v", solve)
+	}
+	tel := report.Benchmarks[2]
+	if tel.Package != "sdem/internal/telemetry" || tel.Name != "BenchmarkTelemetryDisabled" {
+		t.Errorf("telemetry entry = %+v", tel)
+	}
+	if tel.AllocsPerOp == nil || *tel.AllocsPerOp != 0 {
+		t.Errorf("nil-path allocs = %+v", tel)
+	}
+}
+
+func TestParseSkipsMalformed(t *testing.T) {
+	report, err := parse(bufio.NewScanner(strings.NewReader("BenchmarkBroken-8 notanumber 5 ns/op\nBenchmarkShort\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 0 {
+		t.Errorf("malformed lines parsed: %+v", report.Benchmarks)
+	}
+}

@@ -1,0 +1,17 @@
+package serve
+
+import "time"
+
+// stampResponse shows the allowance is per-file, not per-package: a
+// handler reading the wall clock is still flagged even though
+// middleware.go in the same package is exempt.
+func stampResponse() int64 {
+	return time.Now().UnixNano() // want "wall-clock time.Now outside internal/telemetry"
+}
+
+// handlerLatency hand-rolls what belongs in the middleware.
+func handlerLatency(f func()) time.Duration {
+	t0 := time.Now() // want "wall-clock time.Now outside internal/telemetry"
+	f()
+	return time.Since(t0) // want "wall-clock time.Since outside internal/telemetry"
+}

@@ -1,0 +1,455 @@
+// API handlers of the solve service. Handlers compute exclusively on
+// virtual schedule/sim time through the existing solver, simulator and
+// resilient-runtime APIs; every metric they record goes to the request's
+// child recorder and is therefore deterministic in the request payload.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"sdem/internal/baseline"
+	"sdem/internal/core"
+	"sdem/internal/faults"
+	"sdem/internal/online"
+	"sdem/internal/parallel"
+	"sdem/internal/power"
+	"sdem/internal/resilient"
+	"sdem/internal/schedule"
+	"sdem/internal/sim"
+	"sdem/internal/task"
+	"sdem/internal/telemetry"
+)
+
+// TaskRequest is the request envelope of the compute endpoints. Tasks
+// uses the same JSON shape as the encode package's task documents.
+type TaskRequest struct {
+	// Tasks is the task set to schedule.
+	Tasks task.Set `json:"tasks"`
+	// System overrides the server's default platform when present.
+	System *power.System `json:"system,omitempty"`
+	// Cores overrides the platform core count when > 0.
+	Cores int `json:"cores,omitempty"`
+	// Scheduler selects the algorithm: "auto" (offline optimal; the
+	// /v1/solve default) or an online policy — "sdem-on" (the
+	// /v1/simulate default), "mbkp", "mbkps", "race", "critical".
+	Scheduler string `json:"scheduler,omitempty"`
+	// IncludeSchedule returns the full segment schedule in the response.
+	IncludeSchedule bool `json:"include_schedule,omitempty"`
+	// Faults configures fault injection (/v1/execute only).
+	Faults *FaultSpec `json:"faults,omitempty"`
+}
+
+// FaultSpec tunes /v1/execute fault injection and recovery.
+type FaultSpec struct {
+	// Seed makes the fault plan replayable; same request, same faults.
+	Seed int64 `json:"seed"`
+	// Intensity is the fault generator's headline knob in [0, 1].
+	Intensity float64 `json:"intensity"`
+	// Recovery selects the degradation policy: "full" (default — boost,
+	// replan, race) or "none" (bare replay).
+	Recovery string `json:"recovery,omitempty"`
+}
+
+// Components is the per-component energy attribution of a response.
+type Components struct {
+	DynamicJ      float64 `json:"dynamic_j"`
+	CoreStaticJ   float64 `json:"core_static_j"`
+	MemoryStaticJ float64 `json:"memory_static_j"`
+	TransitionJ   float64 `json:"transition_j"`
+}
+
+func componentsOf(e sim.EnergyBreakdown) Components {
+	return Components{
+		DynamicJ:      e.Dynamic,
+		CoreStaticJ:   e.CoreStatic,
+		MemoryStaticJ: e.MemoryStatic,
+		TransitionJ:   e.Transition,
+	}
+}
+
+// TaskResponse is the result of one solve/simulate/execute request.
+type TaskResponse struct {
+	Request    string     `json:"request"`
+	Scheduler  string     `json:"scheduler"`
+	Scheme     string     `json:"scheme,omitempty"`
+	Model      string     `json:"model"`
+	N          int        `json:"n"`
+	EnergyJ    float64    `json:"energy_j"`
+	Components Components `json:"components"`
+	// Misses lists task IDs that completed late or not at all.
+	Misses []int `json:"misses,omitempty"`
+	// Recovery statistics (/v1/execute only).
+	Recoveries  int `json:"recoveries,omitempty"`
+	FaultMisses int `json:"fault_misses,omitempty"`
+	Averted     int `json:"averted,omitempty"`
+	// Schedule is included when the request asked for it.
+	Schedule *schedule.Schedule `json:"schedule,omitempty"`
+	// TraceURL replays this request's virtual-time trace while it remains
+	// in the replay ring.
+	TraceURL string `json:"trace_url"`
+}
+
+// errorResponse is the JSON error shape of every endpoint.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(rc *requestCtx, w http.ResponseWriter, code int, err error) {
+	rc.Set("status", "error")
+	rc.Set("err", err.Error())
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+// errorCode maps solver errors onto HTTP status codes: model/feasibility
+// errors are the client's (422), everything else is a 500.
+func errorCode(err error) int {
+	var general core.ErrGeneralOffline
+	switch {
+	case errors.As(err, &general),
+		errors.Is(err, schedule.ErrInfeasible),
+		errors.Is(err, schedule.ErrDeadlineMiss),
+		errors.Is(err, schedule.ErrSpeedCap):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// decode parses the JSON request body (bounded by MaxBody) into req.
+func (s *Server) decode(rc *requestCtx, w http.ResponseWriter, r *http.Request, req any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		httpError(rc, w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// system resolves the effective platform of a request.
+func (s *Server) system(req *TaskRequest) (power.System, error) {
+	sys := s.cfg.System
+	if req.System != nil {
+		sys = *req.System
+	}
+	if req.Cores > 0 {
+		sys.Cores = req.Cores
+	}
+	if err := sys.Validate(); err != nil {
+		return sys, fmt.Errorf("bad system: %w", err)
+	}
+	return sys, nil
+}
+
+// record annotates the request log and child recorder with the outcome
+// every compute endpoint shares.
+func (rc *requestCtx) record(sched string, n int, energy float64, misses int) {
+	rc.Set("sched", sched)
+	rc.Set("n", n)
+	rc.Set("energy_j", energy)
+	if misses > 0 {
+		rc.Set("misses", misses)
+		rc.Set("status", "misses")
+	} else {
+		rc.Set("status", "ok")
+	}
+	rc.tel.ObserveL(metricEnergy, "route="+rc.route, energy)
+	rc.tel.ObserveL(metricTasks, "route="+rc.route, float64(n))
+}
+
+// handleSolve answers with the offline optimal schedule (§4/§5 dispatch)
+// for common-release and agreeable-deadline task sets.
+func (s *Server) handleSolve(rc *requestCtx, w http.ResponseWriter, r *http.Request) {
+	var req TaskRequest
+	if !s.decode(rc, w, r, &req) {
+		return
+	}
+	resp, code, err := s.solveOne(rc.tel, &req, rc.id)
+	if err != nil {
+		httpError(rc, w, code, err)
+		return
+	}
+	rc.record(resp.Scheduler, resp.N, resp.EnergyJ, len(resp.Misses))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// solveOne runs one offline solve on the given recorder; shared by
+// /v1/solve and /v1/batch.
+func (s *Server) solveOne(tel *telemetry.Recorder, req *TaskRequest, id string) (*TaskResponse, int, error) {
+	if req.Scheduler != "" && req.Scheduler != "auto" {
+		return nil, http.StatusBadRequest, fmt.Errorf("scheduler %q is not an offline scheme; use /v1/simulate", req.Scheduler)
+	}
+	sys, err := s.system(req)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	sol, err := core.SolveTel(req.Tasks, sys, tel)
+	if err != nil {
+		return nil, errorCode(err), err
+	}
+	e := sim.ComponentBreakdown(schedule.Audit(sol.Schedule, sys))
+	resp := &TaskResponse{
+		Request:    id,
+		Scheduler:  "auto",
+		Scheme:     sol.Scheme,
+		Model:      sol.Model.String(),
+		N:          len(req.Tasks),
+		EnergyJ:    e.Total(),
+		Components: componentsOf(e),
+		TraceURL:   "/debug/trace/" + id,
+	}
+	if req.IncludeSchedule {
+		resp.Schedule = sol.Schedule
+	}
+	return resp, 0, nil
+}
+
+// handleSimulate runs an online policy over the task set.
+func (s *Server) handleSimulate(rc *requestCtx, w http.ResponseWriter, r *http.Request) {
+	var req TaskRequest
+	if !s.decode(rc, w, r, &req) {
+		return
+	}
+	resp, code, err := s.simulateOne(rc.tel, &req, rc.id)
+	if err != nil {
+		httpError(rc, w, code, err)
+		return
+	}
+	rc.record(resp.Scheduler, resp.N, resp.EnergyJ, len(resp.Misses))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// simulateOne runs one online policy on the given recorder; shared by
+// /v1/simulate and /v1/batch.
+func (s *Server) simulateOne(tel *telemetry.Recorder, req *TaskRequest, id string) (*TaskResponse, int, error) {
+	sys, err := s.system(req)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	sched := req.Scheduler
+	if sched == "" {
+		sched = "sdem-on"
+	}
+	cores := sys.Cores
+	var res *sim.Result
+	switch sched {
+	case "sdem-on":
+		res, err = online.Schedule(req.Tasks, sys, online.Options{Cores: cores, Telemetry: tel})
+	case "mbkp":
+		res, err = baseline.MBKPTel(req.Tasks, sys, cores, tel)
+	case "mbkps":
+		res, err = baseline.MBKPSTel(req.Tasks, sys, cores, tel)
+	case "race":
+		res, err = baseline.RaceToIdleTel(req.Tasks, sys, cores, tel)
+	case "critical":
+		res, err = baseline.CriticalSpeedTel(req.Tasks, sys, cores, tel)
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("unknown scheduler %q (want sdem-on, mbkp, mbkps, race or critical)", sched)
+	}
+	if err != nil {
+		return nil, errorCode(err), err
+	}
+	e := res.EnergyBreakdown()
+	resp := &TaskResponse{
+		Request:    id,
+		Scheduler:  sched,
+		Model:      req.Tasks.Classify().String(),
+		N:          len(req.Tasks),
+		EnergyJ:    e.Total(),
+		Components: componentsOf(e),
+		Misses:     res.Misses,
+		TraceURL:   "/debug/trace/" + id,
+	}
+	if req.IncludeSchedule {
+		resp.Schedule = res.Schedule
+	}
+	return resp, 0, nil
+}
+
+// handleExecute plans a schedule, injects a seeded fault plan, and
+// replays it through the graceful-degradation runtime.
+func (s *Server) handleExecute(rc *requestCtx, w http.ResponseWriter, r *http.Request) {
+	var req TaskRequest
+	if !s.decode(rc, w, r, &req) {
+		return
+	}
+	sys, err := s.system(&req)
+	if err != nil {
+		httpError(rc, w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Faults == nil {
+		httpError(rc, w, http.StatusBadRequest, errors.New("execute needs a faults spec (seed, intensity)"))
+		return
+	}
+
+	// Plan: offline optimum when the model has one, SDEM-ON otherwise —
+	// the same dispatch cmd/sdem's auto mode uses.
+	plan, planner, code, err := s.planSchedule(rc.tel, &req, sys)
+	if err != nil {
+		httpError(rc, w, code, err)
+		return
+	}
+
+	pol := resilient.DefaultPolicy()
+	if req.Faults.Recovery == "none" {
+		pol = resilient.NoRecovery()
+	} else if req.Faults.Recovery != "" && req.Faults.Recovery != "full" {
+		httpError(rc, w, http.StatusBadRequest, fmt.Errorf("unknown recovery policy %q (want full or none)", req.Faults.Recovery))
+		return
+	}
+	pol.Telemetry = rc.tel
+	fp := faults.Generate(faults.Config{Intensity: req.Faults.Intensity}, req.Tasks, sys, req.Faults.Seed)
+	res, err := resilient.Execute(plan, req.Tasks, sys, fp, pol)
+	if err != nil {
+		httpError(rc, w, errorCode(err), err)
+		return
+	}
+
+	e := res.Sim.EnergyBreakdown()
+	resp := &TaskResponse{
+		Request:     rc.id,
+		Scheduler:   planner,
+		Model:       req.Tasks.Classify().String(),
+		N:           len(req.Tasks),
+		EnergyJ:     res.Energy,
+		Components:  componentsOf(e),
+		Misses:      res.Sim.Misses,
+		Recoveries:  len(res.Recoveries),
+		FaultMisses: len(res.FaultMisses),
+		Averted:     len(res.Averted),
+		TraceURL:    "/debug/trace/" + rc.id,
+	}
+	if req.IncludeSchedule {
+		resp.Schedule = res.Sim.Schedule
+	}
+	rc.Set("faults", len(fp.Faults))
+	rc.Set("recoveries", len(res.Recoveries))
+	rc.record(planner, resp.N, resp.EnergyJ, len(resp.Misses))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// planSchedule produces the fault-free plan /v1/execute perturbs.
+func (s *Server) planSchedule(tel *telemetry.Recorder, req *TaskRequest, sys power.System) (*schedule.Schedule, string, int, error) {
+	sol, err := core.SolveTel(req.Tasks, sys, tel)
+	if err == nil {
+		return sol.Schedule, "auto", 0, nil
+	}
+	var general core.ErrGeneralOffline
+	if !errors.As(err, &general) {
+		return nil, "", errorCode(err), err
+	}
+	res, err := online.Schedule(req.Tasks, sys, online.Options{Cores: sys.Cores, Telemetry: tel})
+	if err != nil {
+		return nil, "", errorCode(err), err
+	}
+	return res.Schedule, "sdem-on", 0, nil
+}
+
+// BatchRequest fans many solve/simulate items over the worker pool.
+type BatchRequest struct {
+	Requests []BatchItemRequest `json:"requests"`
+}
+
+// BatchItemRequest is one batch item: Op selects the endpoint semantics.
+type BatchItemRequest struct {
+	// Op is "solve" (default) or "simulate".
+	Op string `json:"op,omitempty"`
+	TaskRequest
+}
+
+// BatchItemResult is one batch item's outcome: a response or an error.
+// Item failures do not fail the batch.
+type BatchItemResult struct {
+	*TaskResponse
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse returns the item results in request order.
+type BatchResponse struct {
+	Request string            `json:"request"`
+	Results []BatchItemResult `json:"results"`
+}
+
+// handleBatch runs the items on the internal/parallel worker pool. Each
+// item computes on its own child recorder (pid = item index) and the
+// children merge back in index order — the sweep engine's determinism
+// pattern — so the batch's telemetry is identical at any pool width.
+func (s *Server) handleBatch(rc *requestCtx, w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decode(rc, w, r, &req) {
+		return
+	}
+	if len(req.Requests) == 0 {
+		httpError(rc, w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	if len(req.Requests) > s.cfg.MaxBatch {
+		httpError(rc, w, http.StatusBadRequest, fmt.Errorf("batch of %d items exceeds the cap of %d", len(req.Requests), s.cfg.MaxBatch))
+		return
+	}
+
+	children := make([]*telemetry.Recorder, len(req.Requests))
+	for i := range children {
+		children[i] = rc.tel.Child(i)
+	}
+	results, err := parallel.Map(r.Context(), s.cfg.Workers, len(req.Requests), func(_ context.Context, i int) (BatchItemResult, error) {
+		item := &req.Requests[i]
+		id := fmt.Sprintf("%s.%d", rc.id, i)
+		var (
+			resp *TaskResponse
+			rerr error
+		)
+		switch item.Op {
+		case "", "solve":
+			resp, _, rerr = s.solveOne(children[i], &item.TaskRequest, id)
+		case "simulate":
+			resp, _, rerr = s.simulateOne(children[i], &item.TaskRequest, id)
+		default:
+			rerr = fmt.Errorf("unknown op %q (want solve or simulate)", item.Op)
+		}
+		if rerr != nil {
+			return BatchItemResult{Error: rerr.Error()}, nil
+		}
+		resp.TraceURL = "/debug/trace/" + rc.id // items share the batch trace
+		return BatchItemResult{TaskResponse: resp}, nil
+	})
+	if err != nil {
+		// Only context cancellation or a handler panic can land here.
+		httpError(rc, w, http.StatusInternalServerError, err)
+		return
+	}
+	for _, c := range children {
+		rc.tel.Merge(c)
+	}
+
+	var energy float64
+	failed := 0
+	for _, res := range results {
+		if res.TaskResponse != nil {
+			energy += res.EnergyJ
+		} else {
+			failed++
+		}
+	}
+	rc.Set("sched", "batch")
+	rc.Set("items", len(results))
+	rc.Set("failed", failed)
+	rc.Set("energy_j", energy)
+	rc.Set("status", "ok")
+	rc.tel.ObserveL(metricEnergy, "route="+rc.route, energy)
+	rc.tel.ObserveL(metricTasks, "route="+rc.route, float64(len(results)))
+	writeJSON(w, http.StatusOK, BatchResponse{Request: rc.id, Results: results})
+}

@@ -1,0 +1,124 @@
+// Request middleware: ID assignment, per-request child recorders,
+// structured logging, and the service's wall-clock series.
+//
+// This file is the module's ONLY wall-clock site outside
+// internal/telemetry (enforced by the telemetrycheck analyzer): request
+// latency is inherently a wall quantity, and it stays quarantined here —
+// handlers and solvers below the middleware see virtual time only, so
+// every metric they record remains deterministic in the request
+// sequence.
+package serve
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sdem/internal/telemetry"
+)
+
+// Metric names of the serving layer.
+const (
+	// metricRequests counts finished requests by route and status code.
+	metricRequests = "sdem.serve.requests"
+	// metricLatency is the wall request latency histogram by route — the
+	// one nondeterministic metric family of the exposition.
+	metricLatency = "sdem.serve.latency_s"
+	// metricInflight gauges currently executing requests.
+	metricInflight = "sdem.serve.inflight"
+	// metricEnergy distributes per-request audited virtual-time energy by
+	// route (recorded by handlers on the request child).
+	metricEnergy = "sdem.serve.request_energy_j"
+	// metricTasks distributes request task-set sizes by route.
+	metricTasks = "sdem.serve.request_tasks"
+)
+
+// requestCtx is the per-request state the middleware hands each API
+// handler: the request ID, the child recorder all solver work records
+// into, and the structured-log fields the handler attaches.
+type requestCtx struct {
+	id    string
+	route string // path part of the route pattern, e.g. "/v1/solve"
+	tel   *telemetry.Recorder
+
+	mu    sync.Mutex
+	attrs []slog.Attr
+}
+
+// Set attaches a structured-log field to the request's completion line
+// (scheduler kind, n, solve status, virtual-time energy, ...).
+func (rc *requestCtx) Set(key string, value any) {
+	rc.mu.Lock()
+	rc.attrs = append(rc.attrs, slog.Any(key, value))
+	rc.mu.Unlock()
+}
+
+// apiHandler is a request handler running under the middleware.
+type apiHandler func(rc *requestCtx, w http.ResponseWriter, r *http.Request)
+
+// statusWriter captures the response status code for the log and the
+// request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// middleware wraps an API handler: assigns the monotone request ID,
+// creates the child recorder (pid = request ID, the sweep engine's
+// per-work-item pattern), logs one structured completion line, feeds the
+// route latency histogram and in-flight gauge, folds the child's metrics
+// into the root recorder, and parks the child in the trace ring.
+func (s *Server) middleware(pattern string, h apiHandler) http.Handler {
+	route := pattern
+	if _, r, ok := strings.Cut(pattern, " "); ok {
+		route = r
+	}
+	routeLabel := "route=" + route
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := s.reqID.Add(1)
+		rc := &requestCtx{id: strconv.FormatInt(id, 10), route: route, tel: s.tel.Child(int(id))}
+		sw := &statusWriter{ResponseWriter: w}
+		s.tel.Gauge(metricInflight, float64(s.inflight.Add(1)))
+
+		start := time.Now()
+		h(rc, sw, r)
+		latency := time.Since(start)
+
+		s.tel.Gauge(metricInflight, float64(s.inflight.Add(-1)))
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		s.tel.CountL(metricRequests, "code="+strconv.Itoa(sw.code)+","+routeLabel, 1)
+		s.tel.ObserveL(metricLatency, routeLabel, latency.Seconds())
+		s.tel.MergeMetrics(rc.tel)
+		s.ring.put(rc.id, rc.tel)
+
+		rc.mu.Lock()
+		attrs := append([]slog.Attr{
+			slog.String("id", rc.id),
+			slog.String("method", r.Method),
+			slog.String("route", route),
+			slog.Int("code", sw.code),
+			slog.Float64("latency_ms", float64(latency.Nanoseconds())/1e6),
+		}, rc.attrs...)
+		rc.mu.Unlock()
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+	})
+}

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"sync"
+
+	"sdem/internal/telemetry"
+)
+
+// traceRing retains the child recorders of the most recent requests so
+// /debug/trace/{id} can replay their virtual-time spans after the fact.
+// The ring is the sole owner of completed children: the middleware folds
+// only metrics into the root recorder, so evicting a ring entry releases
+// the request's trace memory and the long-running process stays bounded.
+type traceRing struct {
+	mu      sync.Mutex
+	entries []ringEntry // ring storage, len == capacity
+	next    int         // next slot to overwrite
+	byID    map[string]*telemetry.Recorder
+}
+
+type ringEntry struct {
+	id  string
+	rec *telemetry.Recorder
+}
+
+func newTraceRing(size int) *traceRing {
+	return &traceRing{
+		entries: make([]ringEntry, size),
+		byID:    make(map[string]*telemetry.Recorder, size),
+	}
+}
+
+// put stores a completed request recorder, evicting the oldest entry
+// once the ring is full.
+func (t *traceRing) put(id string, rec *telemetry.Recorder) {
+	if rec == nil || len(t.entries) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if old := t.entries[t.next]; old.id != "" {
+		delete(t.byID, old.id)
+	}
+	t.entries[t.next] = ringEntry{id: id, rec: rec}
+	t.byID[id] = rec
+	t.next = (t.next + 1) % len(t.entries)
+}
+
+// get returns the retained recorder of a request ID.
+func (t *traceRing) get(id string) (*telemetry.Recorder, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec, ok := t.byID[id]
+	return rec, ok
+}

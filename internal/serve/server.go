@@ -1,0 +1,211 @@
+// Package serve is the long-running SDEM solve service behind cmd/sdemd:
+// an HTTP daemon that accepts solve / simulate / execute requests over
+// JSON task sets and answers with schedules and per-component energy
+// attributions, while exposing live observability surfaces:
+//
+//	POST /v1/solve       offline optimal schedule (§4/§5 via sdem core)
+//	POST /v1/simulate    online policies (sdem-on, mbkp, mbkps, race, critical)
+//	POST /v1/execute     fault-perturbed replay with graceful degradation
+//	POST /v1/batch       many solve/simulate requests on the worker pool
+//	GET  /metrics        OpenMetrics exposition of the live recorder
+//	GET  /healthz        liveness (always 200 while the process serves)
+//	GET  /readyz         readiness (503 once shutdown has begun)
+//	GET  /debug/trace/{id}  Chrome trace_event replay of a recent request
+//	GET  /debug/pprof/*  standard pprof surfaces
+//
+// Observability model: the server owns one root telemetry.Recorder for
+// its whole lifetime. Every request computes on a child recorder (pid =
+// request ID — the same pattern the sweep engine uses per grid point);
+// on completion the middleware folds the child's metrics into the root
+// with MergeMetrics and parks the child, trace events and all, in a
+// bounded replay ring for /debug/trace. Solver and simulator metrics
+// therefore stay pure virtual-time quantities, while the middleware adds
+// the only wall-clock series (request latency) — and wall time never
+// leaves middleware.go (enforced by the telemetrycheck analyzer).
+package serve
+
+import (
+	"context"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"sdem/internal/parallel"
+	"sdem/internal/power"
+	"sdem/internal/telemetry"
+	"sdem/internal/telemetry/export"
+)
+
+// Config tunes a Server. The zero value serves the paper's default
+// platform with sensible bounds.
+type Config struct {
+	// System is the platform used by requests that do not carry one.
+	// Zero-valued means power.DefaultSystem.
+	System power.System
+	// MaxBody caps request body size in bytes (default 1 MiB).
+	MaxBody int64
+	// RingSize bounds the /debug/trace replay ring (default 64 requests).
+	RingSize int
+	// Workers bounds the /v1/batch worker pool (default: one per CPU).
+	Workers int
+	// MaxBatch caps the number of items per /v1/batch request
+	// (default 256).
+	MaxBatch int
+	// Logger receives the structured request log (default slog.Default).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.System.Cores == 0 && c.System.Core == (power.Core{}) {
+		c.System = power.DefaultSystem()
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = parallel.DefaultWorkers()
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is the HTTP solve service. Create one with New and mount
+// Handler on an http.Server.
+type Server struct {
+	cfg Config
+	log *slog.Logger
+
+	// tel is the root recorder of the whole process; request children are
+	// folded into it as they complete.
+	tel *telemetry.Recorder
+
+	mux      *http.ServeMux
+	reqID    atomic.Int64
+	inflight atomic.Int64
+	ready    atomic.Bool
+	ring     *traceRing
+}
+
+// New builds a Server and its route table.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:  cfg,
+		log:  cfg.Logger,
+		tel:  telemetry.New(),
+		mux:  http.NewServeMux(),
+		ring: newTraceRing(cfg.RingSize),
+	}
+	s.tel.RegisterHistogram(metricLatency, telemetry.BucketsSeconds)
+	s.tel.RegisterHistogram(metricEnergy, telemetry.BucketsJoules)
+	s.tel.RegisterHistogram(metricTasks, telemetry.BucketsCount)
+	s.ready.Store(true)
+
+	s.handle("POST /v1/solve", s.handleSolve)
+	s.handle("POST /v1/simulate", s.handleSimulate)
+	s.handle("POST /v1/execute", s.handleExecute)
+	s.handle("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.ready.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ready\n"))
+	})
+	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// handle mounts an API handler behind the request middleware (ID
+// assignment, child recorder, structured log, latency metrics).
+func (s *Server) handle(pattern string, h apiHandler) {
+	s.mux.Handle(pattern, s.middleware(pattern, h))
+}
+
+// Handler returns the service's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Telemetry returns the root recorder (tests and embedders may seed or
+// inspect it; the exposition snapshots it).
+func (s *Server) Telemetry() *telemetry.Recorder { return s.tel }
+
+// SetReady flips the /readyz state; Run flips it to false when shutdown
+// begins so load balancers drain the instance before connections die.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// handleMetrics snapshots the live recorder and renders it as
+// OpenMetrics text. The snapshot is taken under the recorder lock, so
+// scrapes race neither each other nor in-flight merges; rendering is
+// lock-free and byte-deterministic for a fixed metric state.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	if err := export.WriteOpenMetrics(w, s.tel.Snapshot()); err != nil {
+		s.log.Error("metrics exposition failed", "err", err)
+	}
+}
+
+// handleTrace replays a recent request's virtual-time span trace as
+// Chrome trace_event JSON (load in ui.perfetto.dev). 404 when the
+// request was never traced or has been evicted from the ring.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.ring.get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "trace not found (evicted or unknown request id)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := rec.WriteChromeTrace(w); err != nil {
+		s.log.Error("trace replay failed", "err", err)
+	}
+}
+
+// Run serves s on the listener until ctx is cancelled, then drains
+// gracefully: readiness flips to 503 immediately, in-flight requests get
+// up to grace to finish, and a clean drain returns nil. The listener is
+// always closed on return.
+func Run(ctx context.Context, l net.Listener, s *Server, grace time.Duration) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err // listener failed before shutdown was requested
+	case <-ctx.Done():
+	}
+	s.SetReady(false)
+	s.log.Info("shutting down", "grace", grace.String())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}

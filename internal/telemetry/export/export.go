@@ -1,0 +1,211 @@
+// Package export bridges the module's telemetry recorder to the
+// Prometheus / OpenMetrics text exposition format, so a long-running
+// process (sdemd) can be scraped live instead of dumping metrics
+// post-hoc.
+//
+// The bridge is snapshot-driven: callers take telemetry.Recorder.Snapshot
+// (a consistent, lock-free copy) and render it here. Rendering is a pure
+// function of the snapshot — families sorted by exposed name, series in
+// the snapshot's (name, labels) order, label values escaped, floats
+// formatted with round-trip precision — so the exposition of a fixed
+// metric state is byte-deterministic. Samples carry no timestamps: the
+// module's metric values live on virtual schedule/sim time, which must
+// never be confused with scrape (wall) time, so the scraper assigns its
+// own timestamps (see DESIGN.md §7).
+//
+// Mapping:
+//
+//	counter  name{...} v  →  # TYPE name counter;  name_total{...} v
+//	float    name{...} v  →  # TYPE name counter;  name_total{...} v   (monotone sums, e.g. joules)
+//	gauge    name{...} v  →  # TYPE name gauge;    name{...} v
+//	hist     name{...}    →  # TYPE name histogram; name_bucket{...,le="e"} cum …
+//	                          name_bucket{...,le="+Inf"} n; name_sum; name_count
+//
+// Dots in metric names become underscores ("sdem.sim.energy_j" →
+// "sdem_sim_energy_j"). A metric name must be used as only one kind
+// (counter, float, gauge or histogram) — the recorder API makes mixing a
+// bug, and the exposition would be invalid.
+package export
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"sdem/internal/telemetry"
+)
+
+// WriteOpenMetrics renders the snapshot as OpenMetrics text exposition
+// (also parseable by any Prometheus scraper) and terminates it with the
+// required "# EOF". An empty snapshot — in particular the one a nil
+// recorder produces — yields the empty exposition: just the EOF marker.
+func WriteOpenMetrics(w io.Writer, s telemetry.Snapshot) error {
+	var b strings.Builder
+	writeCounterish(&b, countersAsFloats(s.Counters))
+	writeCounterish(&b, s.Floats)
+	writeFamilies(&b, s.Gauges, "gauge", func(b *strings.Builder, p telemetry.FloatPoint) {
+		sample(b, sanitize(p.Name), p.Labels, "", ftoa(p.Value))
+	})
+	writeHistograms(&b, s.Hists)
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// countersAsFloats widens integer counters to the float sample type so
+// counters and float sums share one rendering path. int64 counters in
+// this module are event counts far below 2^53, so the widening is exact.
+func countersAsFloats(cs []telemetry.CounterPoint) []telemetry.FloatPoint {
+	if len(cs) == 0 {
+		return nil
+	}
+	out := make([]telemetry.FloatPoint, len(cs))
+	for i, c := range cs {
+		out[i] = telemetry.FloatPoint{Name: c.Name, Labels: c.Labels, Value: float64(c.Value)}
+	}
+	return out
+}
+
+func writeCounterish(b *strings.Builder, ps []telemetry.FloatPoint) {
+	writeFamilies(b, ps, "counter", func(b *strings.Builder, p telemetry.FloatPoint) {
+		sample(b, sanitize(p.Name)+"_total", p.Labels, "", ftoa(p.Value))
+	})
+}
+
+// writeFamilies emits one # TYPE header per distinct metric name and the
+// series under it. Points arrive sorted by (name, labels), so series of
+// a family are contiguous and the family order is the sorted name order.
+func writeFamilies(b *strings.Builder, ps []telemetry.FloatPoint, kind string, emit func(*strings.Builder, telemetry.FloatPoint)) {
+	prev := ""
+	for _, p := range ps {
+		if p.Name != prev {
+			fmt.Fprintf(b, "# TYPE %s %s\n", sanitize(p.Name), kind)
+			prev = p.Name
+		}
+		emit(b, p)
+	}
+}
+
+func writeHistograms(b *strings.Builder, hs []telemetry.HistPoint) {
+	prev := ""
+	for _, h := range hs {
+		name := sanitize(h.Name)
+		if h.Name != prev {
+			fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+			prev = h.Name
+		}
+		var cum uint64
+		for i, e := range h.Edges {
+			cum += h.Counts[i]
+			sample(b, name+"_bucket", h.Labels, `le="`+ftoa(e)+`"`, strconv.FormatUint(cum, 10))
+		}
+		sample(b, name+"_bucket", h.Labels, `le="+Inf"`, strconv.FormatUint(h.Count, 10))
+		sample(b, name+"_sum", h.Labels, "", ftoa(h.Sum))
+		sample(b, name+"_count", h.Labels, "", strconv.FormatUint(h.Count, 10))
+	}
+}
+
+// sample writes one exposition line: name{rendered labels[,extra]} value.
+// extra is a pre-rendered label pair (the histogram "le") appended last,
+// after the canonical labels.
+func sample(b *strings.Builder, name, labels, extra, value string) {
+	b.WriteString(name)
+	if labels != "" || extra != "" {
+		b.WriteByte('{')
+		writeLabels(b, labels)
+		if extra != "" {
+			if labels != "" {
+				b.WriteByte(',')
+			}
+			b.WriteString(extra)
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// writeLabels renders a canonical "k1=v1,k2=v2" label string as
+// k1="v1",k2="v2" with exposition escaping of the values. The canonical
+// form cannot carry commas or '=' inside values (the recorder's label
+// convention), so the split is unambiguous.
+func writeLabels(b *strings.Builder, labels string) {
+	if labels == "" {
+		return
+	}
+	for i, pair := range strings.Split(labels, ",") {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			// A bare token is exposed as a value under the "label" key
+			// rather than dropped, keeping the exposition well-formed.
+			k, v = "label", pair
+		}
+		b.WriteString(sanitize(k))
+		b.WriteString(`="`)
+		escapeLabelValue(b, v)
+		b.WriteString(`"`)
+	}
+}
+
+// escapeLabelValue applies the exposition-format escapes: backslash,
+// double quote and line feed.
+func escapeLabelValue(b *strings.Builder, v string) {
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// sanitize maps a dotted telemetry name onto the exposition's
+// [a-zA-Z_:][a-zA-Z0-9_:]* charset: dots (and any other invalid byte)
+// become underscores.
+func sanitize(name string) string {
+	valid := func(i int, c byte) bool {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			return true
+		case c >= '0' && c <= '9':
+			return i > 0
+		}
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if !valid(i, name[i]) {
+			out := []byte(name)
+			for j := range out {
+				if !valid(j, out[j]) {
+					out[j] = '_'
+				}
+			}
+			return string(out)
+		}
+	}
+	return name
+}
+
+// ftoa matches the recorder's dump formatting: shortest round-trip
+// representation, so equal expositions imply bit-equal values. +Inf and
+// -Inf use the exposition spellings.
+func ftoa(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,121 @@
+package export
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sdem/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden exposition")
+
+// golden builds the recorder whose exposition testdata/golden.om pins:
+// every metric kind, multi-series families, escaped label values, and a
+// histogram with explicit buckets.
+func golden() *telemetry.Recorder {
+	r := telemetry.New()
+	r.CountL("sdem.serve.requests", "code=200,route=/v1/solve", 3)
+	r.CountL("sdem.serve.requests", "code=400,route=/v1/solve", 1)
+	r.Count("sdem.sim.runs", 4)
+	r.AddL("sdem.sim.energy_j", "component=dynamic,sched=sdem-on", 0.125)
+	r.AddL("sdem.sim.energy_j", "component=memory_static,sched=sdem-on", 2.5)
+	r.Gauge("sdem.serve.inflight", 2)
+	r.GaugeL("sdem.serve.info", `version="v1"\weird`+"\n", 1)
+	r.RegisterHistogram("sdem.serve.latency_s", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0004, 0.002, 0.003, 0.05, 3} {
+		r.ObserveL("sdem.serve.latency_s", "route=/v1/solve", v)
+	}
+	return r
+}
+
+// TestWriteOpenMetricsGolden pins the full exposition byte-for-byte:
+// family grouping and order, _total suffixes, cumulative _bucket lines
+// with _sum/_count, label escaping, and the # EOF terminator.
+func TestWriteOpenMetricsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteOpenMetrics(&buf, golden().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden.om")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from %s (run with -update to rewrite):\ngot:\n%s\nwant:\n%s", path, buf.Bytes(), want)
+	}
+}
+
+// TestWriteOpenMetricsDeterministic renders the same state twice and from
+// a merged clone; all three expositions must be byte-identical.
+func TestWriteOpenMetricsDeterministic(t *testing.T) {
+	render := func(r *telemetry.Recorder) string {
+		var buf bytes.Buffer
+		if err := WriteOpenMetrics(&buf, r.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(golden()), render(golden())
+	if a != b {
+		t.Errorf("two renders of the same state differ:\n%s\n---\n%s", a, b)
+	}
+	merged := telemetry.New()
+	merged.MergeMetrics(golden())
+	if c := render(merged); c != a {
+		t.Errorf("merged clone renders differently:\n%s\n---\n%s", c, a)
+	}
+}
+
+// TestWriteOpenMetricsEmpty checks the nil-recorder path end to end: the
+// empty snapshot produces the empty exposition, just the EOF marker.
+func TestWriteOpenMetricsEmpty(t *testing.T) {
+	var r *telemetry.Recorder
+	var buf bytes.Buffer
+	if err := WriteOpenMetrics(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "# EOF\n" {
+		t.Errorf("empty exposition = %q, want %q", got, "# EOF\n")
+	}
+}
+
+// TestExpositionShape spot-checks structural invariants a scraper relies
+// on rather than exact bytes: one TYPE line per family, +Inf bucket equal
+// to _count, and escaped values.
+func TestExpositionShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteOpenMetrics(&buf, golden().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("exposition does not end with # EOF:\n%s", out)
+	}
+	for _, want := range []string{
+		"# TYPE sdem_serve_requests counter",
+		`sdem_serve_requests_total{code="200",route="/v1/solve"} 3`,
+		"# TYPE sdem_sim_energy_j counter",
+		`sdem_sim_energy_j_total{component="dynamic",sched="sdem-on"} 0.125`,
+		"# TYPE sdem_serve_latency_s histogram",
+		`sdem_serve_latency_s_bucket{route="/v1/solve",le="0.001"} 1`,
+		`sdem_serve_latency_s_bucket{route="/v1/solve",le="+Inf"} 5`,
+		`sdem_serve_latency_s_count{route="/v1/solve"} 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE sdem_serve_requests counter") != 1 {
+		t.Errorf("family header repeated:\n%s", out)
+	}
+}

@@ -1,0 +1,104 @@
+// Point-in-time snapshots of a live Recorder.
+//
+// A long-running process (the sdemd serve daemon) exposes its recorder
+// while work is still in flight, so exporters must never walk the live
+// maps. Snapshot copies the full metric state under the recorder's lock
+// into plain sorted slices; exporters then format the copy without
+// holding any lock and without racing in-flight instrumentation. The
+// ordering is the same (name, labels) order WriteMetrics uses, so any
+// exporter that walks a Snapshot front-to-back is byte-deterministic for
+// a fixed metric state.
+package telemetry
+
+// CounterPoint is one counter sample of a snapshot.
+type CounterPoint struct {
+	Name   string
+	Labels string // canonical "k1=v1,k2=v2", empty for none
+	Value  int64
+}
+
+// FloatPoint is one float-sum or gauge sample of a snapshot.
+type FloatPoint struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// HistPoint is one histogram instance of a snapshot. Counts holds the
+// per-bucket (non-cumulative) observation counts; Counts[len(Edges)] is
+// the +Inf overflow bucket. Edges is shared with the recorder's layout
+// and must be treated as immutable.
+type HistPoint struct {
+	Name   string
+	Labels string
+	Edges  []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+	Min    float64 // 0 when Count == 0
+	Max    float64 // 0 when Count == 0
+}
+
+// Snapshot is a consistent copy of a Recorder's metric state. Every
+// slice is sorted by (Name, Labels). The zero Snapshot is the empty
+// state a nil recorder produces.
+type Snapshot struct {
+	Counters []CounterPoint
+	Floats   []FloatPoint
+	Gauges   []FloatPoint
+	Hists    []HistPoint
+}
+
+// Empty reports whether the snapshot carries no samples at all.
+func (s Snapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Floats) == 0 && len(s.Gauges) == 0 && len(s.Hists) == 0
+}
+
+// Snapshot copies the recorder's metric state (counters, float sums,
+// gauges, histograms — not trace events) under the lock. On a nil
+// recorder it returns the zero Snapshot without allocating, so the
+// disabled path of a snapshot-driven exporter stays free.
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	if len(r.counters) > 0 {
+		s.Counters = make([]CounterPoint, 0, len(r.counters))
+		for _, k := range sortedKeys(r.counters) {
+			s.Counters = append(s.Counters, CounterPoint{Name: k.name, Labels: k.labels, Value: r.counters[k]})
+		}
+	}
+	if len(r.floats) > 0 {
+		s.Floats = make([]FloatPoint, 0, len(r.floats))
+		for _, k := range sortedKeys(r.floats) {
+			s.Floats = append(s.Floats, FloatPoint{Name: k.name, Labels: k.labels, Value: r.floats[k]})
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make([]FloatPoint, 0, len(r.gauges))
+		for _, k := range sortedKeys(r.gauges) {
+			s.Gauges = append(s.Gauges, FloatPoint{Name: k.name, Labels: k.labels, Value: r.gauges[k]})
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Hists = make([]HistPoint, 0, len(r.hists))
+		for _, k := range sortedKeys(r.hists) {
+			h := r.hists[k]
+			counts := make([]uint64, len(h.counts))
+			copy(counts, h.counts)
+			mn, mx := h.min, h.max
+			if h.count == 0 {
+				mn, mx = 0, 0
+			}
+			s.Hists = append(s.Hists, HistPoint{
+				Name: k.name, Labels: k.labels,
+				Edges: h.edges, Counts: counts,
+				Count: h.count, Sum: h.sum, Min: mn, Max: mx,
+			})
+		}
+	}
+	return s
+}

@@ -267,7 +267,16 @@ func (r *Recorder) ObserveL(name, labels string, v float64) {
 // children in the same order produce bit-identical float sums regardless
 // of how the children were computed (the worker-count independence
 // guarantee).
-func (r *Recorder) Merge(c *Recorder) {
+func (r *Recorder) Merge(c *Recorder) { r.merge(c, true) }
+
+// MergeMetrics folds only the child's metric state into r, leaving the
+// child's trace events behind. A long-running server merges per-request
+// children this way: the root recorder's memory stays bounded by the
+// metric cardinality while the request's trace lives (and dies) with the
+// bounded replay ring that owns the child.
+func (r *Recorder) MergeMetrics(c *Recorder) { r.merge(c, false) }
+
+func (r *Recorder) merge(c *Recorder, events bool) {
 	if r == nil || c == nil {
 		return
 	}
@@ -298,7 +307,9 @@ func (r *Recorder) Merge(c *Recorder) {
 		}
 		h.merge(ch)
 	}
-	r.events = append(r.events, c.events...)
+	if events {
+		r.events = append(r.events, c.events...)
+	}
 }
 
 func sortedKeys[V any](m map[key]V) []key {

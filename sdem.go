@@ -24,6 +24,8 @@
 package sdem
 
 import (
+	"io"
+
 	"sdem/internal/baseline"
 	"sdem/internal/commonrelease"
 	"sdem/internal/core"
@@ -38,6 +40,7 @@ import (
 	"sdem/internal/sim"
 	"sdem/internal/task"
 	"sdem/internal/telemetry"
+	"sdem/internal/telemetry/export"
 	"sdem/internal/trace"
 	"sdem/internal/workload"
 )
@@ -135,6 +138,17 @@ type Telemetry = telemetry.Recorder
 // variants, OnlineOptions.Telemetry, RecoveryPolicy.Telemetry, or the
 // experiment harness.
 func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// WriteOpenMetrics renders a recorder's current metric state as
+// Prometheus/OpenMetrics text exposition — the format served at GET
+// /metrics by cmd/sdemd. The snapshot is taken atomically and rendered
+// in sorted (name, labels) order, so the exposition is byte-identical
+// for a fixed computation; samples carry no timestamps (the scraper
+// assigns wall time), so virtual schedule/sim time never leaks out. A
+// nil recorder writes an empty exposition ("# EOF" only).
+func WriteOpenMetrics(w io.Writer, tel *Telemetry) error {
+	return export.WriteOpenMetrics(w, tel.Snapshot())
+}
 
 // SolveTel is Solve with telemetry: solver counters and timings are
 // recorded under sdem.solver.* and sim activity under sdem.sim.*. A nil

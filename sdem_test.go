@@ -294,4 +294,29 @@ func TestTelemetryFacade(t *testing.T) {
 	if math.Abs(comp.Total()-b.Total()) > 1e-9 {
 		t.Errorf("component sum %g != audit total %g", comp.Total(), b.Total())
 	}
+
+	// The OpenMetrics facade renders the same recorder state as
+	// Prometheus text and is byte-deterministic.
+	var om1, om2 strings.Builder
+	if err := WriteOpenMetrics(&om1, tel); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteOpenMetrics(&om2, tel); err != nil {
+		t.Fatal(err)
+	}
+	if om1.String() != om2.String() {
+		t.Error("OpenMetrics exposition not deterministic across renders")
+	}
+	if !strings.Contains(om1.String(), "sdem_solver_cr_solves_total") || !strings.HasSuffix(om1.String(), "# EOF\n") {
+		t.Errorf("OpenMetrics exposition malformed:\n%s", om1.String())
+	}
+
+	// A nil recorder exports the empty exposition.
+	var empty strings.Builder
+	if err := WriteOpenMetrics(&empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if empty.String() != "# EOF\n" {
+		t.Errorf("nil exposition = %q, want %q", empty.String(), "# EOF\n")
+	}
 }
