@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test lint fmt fuzz trace-demo bench
+.PHONY: check build vet test lint fmt fuzz trace-demo bench bench-gate
 
 # check chains the same steps CI runs (.github/workflows/ci.yml).
 check: build vet test lint
@@ -30,14 +30,25 @@ trace-demo:
 	@echo "wrote trace-demo.metrics and trace-demo.json (load the .json in ui.perfetto.dev)"
 
 # bench runs the fast micro-benchmarks and snapshots them to
-# BENCH_5.json via cmd/benchreport, so baselines can be diffed in review.
-# The figure-scale sweeps (Fig6*/Fig7*/Table3/Sweep*) are excluded: they
-# take minutes and are run manually when sweep performance is the topic.
+# BENCH_6.json via cmd/benchreport, comparing allocs/op against the
+# committed BENCH_5.json baseline (fails on >5% growth), so baselines can
+# be diffed in review and regressions gate. The figure-scale sweeps
+# (Fig6*/Fig7*/Table3/Sweep*) are excluded: they take minutes and are run
+# manually when sweep performance is the topic.
+BENCH_PATTERN = SolveCommonRelease|SolveAgreeableDP|SolveHeterogeneous|ScheduleOnline|MBKPBaseline|Audit|FFT1024|PartitionExact|Quantize|LowerBound|Telemetry|Uninstrumented|SnapshotDisabled
+
 bench:
-	$(GO) test -run '^$$' \
-		-bench 'SolveCommonRelease|SolveAgreeableDP|SolveHeterogeneous|ScheduleOnline|MBKPBaseline|Audit|FFT1024|PartitionExact|Quantize|LowerBound|Telemetry|Uninstrumented|SnapshotDisabled' \
-		-benchmem ./... | tee /dev/stderr | $(GO) run ./cmd/benchreport -out BENCH_5.json
-	@echo "wrote BENCH_5.json"
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' \
+		-benchmem ./... | tee /dev/stderr | $(GO) run ./cmd/benchreport -out BENCH_6.json -compare BENCH_5.json
+	@echo "wrote BENCH_6.json"
+
+# bench-gate re-runs the micro-benchmarks without touching the committed
+# snapshot and fails if any allocs/op regressed >5% vs the BENCH_6.json
+# baseline. This is the CI alloc-regression gate; allocs/op (unlike ns/op)
+# is deterministic for a fixed binary, so it never flakes under load.
+bench-gate:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 100x \
+		-benchmem ./... | $(GO) run ./cmd/benchreport -compare BENCH_6.json > /dev/null
 
 fmt:
 	gofmt -l -w .

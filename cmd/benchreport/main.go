@@ -4,12 +4,19 @@
 //
 // Usage:
 //
-//	go test -bench 'Solve|Audit' -benchmem ./... | go run ./cmd/benchreport -out BENCH_5.json
+//	go test -bench 'Solve|Audit' -benchmem ./... | go run ./cmd/benchreport -out BENCH_6.json
 //
 // The report strips the -N GOMAXPROCS suffix from benchmark names,
 // records ns/op, B/op, and allocs/op plus any custom unit columns, and
 // sorts entries by name so the file is deterministic for a fixed
 // benchmark outcome.
+//
+// With -compare BASELINE.json the tool additionally gates allocation
+// regressions: every benchmark present in both the baseline and the new
+// run has its allocs/op compared, and the exit status is 1 if any rose
+// by more than -max-alloc-growth (default 5%). Only allocs/op is gated —
+// unlike wall time it is deterministic for a fixed binary, so the gate
+// never flakes on a loaded CI machine.
 package main
 
 import (
@@ -17,6 +24,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -25,13 +34,13 @@ import (
 
 // Entry is one benchmark result line.
 type Entry struct {
-	Name       string             `json:"name"`
-	Package    string             `json:"package,omitempty"`
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op"`
-	BytesPerOp *float64           `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *float64          `json:"allocs_per_op,omitempty"`
-	Custom     map[string]float64 `json:"custom,omitempty"`
+	Name        string             `json:"name"`
+	Package     string             `json:"package,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Custom      map[string]float64 `json:"custom,omitempty"`
 }
 
 // Report is the emitted document.
@@ -42,6 +51,8 @@ type Report struct {
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "baseline report to gate allocs/op regressions against")
+	maxGrowth := flag.Float64("max-alloc-growth", 0.05, "maximum allowed relative allocs/op growth vs the baseline")
 	flag.Parse()
 
 	report, err := parse(bufio.NewScanner(os.Stdin))
@@ -61,12 +72,89 @@ func main() {
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}
+
+	if *compare == "" {
+		return
+	}
+	baseData, err := os.ReadFile(*compare)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	var baseline Report
+	if err := json.Unmarshal(baseData, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: parsing %s: %v\n", *compare, err)
+		os.Exit(1)
+	}
+	regressions := compareAllocs(os.Stderr, baseline, report, *maxGrowth)
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: %d allocs/op regression(s) vs %s (limit +%.0f%%)\n",
+			regressions, *compare, *maxGrowth*100)
+		os.Exit(1)
+	}
+}
+
+// compareAllocs reports every benchmark's allocs/op movement against the
+// baseline and returns the number of regressions beyond maxGrowth.
+// Benchmarks present on only one side are noted but never gate: a new
+// benchmark has no baseline, and a deleted one has nothing to regress.
+func compareAllocs(w io.Writer, baseline, current Report, maxGrowth float64) int {
+	type key struct{ pkg, name string }
+	base := make(map[key]*Entry, len(baseline.Benchmarks))
+	for i := range baseline.Benchmarks {
+		e := &baseline.Benchmarks[i]
+		base[key{e.Package, e.Name}] = e
+	}
+	regressions := 0
+	for i := range current.Benchmarks {
+		e := &current.Benchmarks[i]
+		b, ok := base[key{e.Package, e.Name}]
+		if !ok {
+			fmt.Fprintf(w, "  new       %s/%s: no baseline entry\n", e.Package, e.Name)
+			continue
+		}
+		delete(base, key{e.Package, e.Name})
+		if b.AllocsPerOp == nil || e.AllocsPerOp == nil {
+			continue // run without -benchmem on one side; nothing to gate
+		}
+		old, now := *b.AllocsPerOp, *e.AllocsPerOp
+		switch {
+		case now > old && now > old*(1+maxGrowth):
+			regressions++
+			fmt.Fprintf(w, "  REGRESSED %s/%s: allocs/op %.0f -> %.0f (%+.1f%%)\n",
+				e.Package, e.Name, old, now, growthPct(old, now))
+		case now < old:
+			fmt.Fprintf(w, "  improved  %s/%s: allocs/op %.0f -> %.0f (%+.1f%%)\n",
+				e.Package, e.Name, old, now, growthPct(old, now))
+		default:
+			fmt.Fprintf(w, "  ok        %s/%s: allocs/op %.0f -> %.0f\n",
+				e.Package, e.Name, old, now)
+		}
+	}
+	// Walk the baseline slice, not the map, so the report order is stable.
+	for i := range baseline.Benchmarks {
+		e := &baseline.Benchmarks[i]
+		if _, left := base[key{e.Package, e.Name}]; left {
+			fmt.Fprintf(w, "  removed   %s/%s: present only in baseline\n", e.Package, e.Name)
+		}
+	}
+	return regressions
+}
+
+// growthPct is the relative allocs/op change in percent; a zero baseline
+// with any growth reads as +Inf, which formats as the honest answer.
+func growthPct(old, now float64) float64 {
+	if old == 0 { //lint:allow floatcmp: allocs/op counts are exact integers; this guards the division
+		if now == 0 { //lint:allow floatcmp: see above
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (now - old) / old * 100
 }
 
 type lineScanner interface {

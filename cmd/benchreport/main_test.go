@@ -59,3 +59,58 @@ func TestParseSkipsMalformed(t *testing.T) {
 		t.Errorf("malformed lines parsed: %+v", report.Benchmarks)
 	}
 }
+
+func allocs(v float64) *float64 { return &v }
+
+func entry(pkg, name string, a *float64) Entry {
+	return Entry{Name: name, Package: pkg, Iterations: 1, NsPerOp: 1, AllocsPerOp: a}
+}
+
+func TestCompareAllocs(t *testing.T) {
+	baseline := Report{Benchmarks: []Entry{
+		entry("sdem", "BenchmarkA", allocs(100)),
+		entry("sdem", "BenchmarkB", allocs(100)),
+		entry("sdem", "BenchmarkC", allocs(0)),
+		entry("sdem", "BenchmarkGone", allocs(5)),
+		entry("sdem", "BenchmarkNoMem", nil),
+	}}
+	current := Report{Benchmarks: []Entry{
+		entry("sdem", "BenchmarkA", allocs(104)),   // +4%: within the 5% budget
+		entry("sdem", "BenchmarkB", allocs(106)),   // +6%: regression
+		entry("sdem", "BenchmarkC", allocs(1)),     // 0 -> 1: regression
+		entry("sdem", "BenchmarkFresh", allocs(9)), // no baseline: never gates
+		entry("sdem", "BenchmarkNoMem", nil),       // no memstats: never gates
+	}}
+	var buf strings.Builder
+	got := compareAllocs(&buf, baseline, current, 0.05)
+	if got != 2 {
+		t.Fatalf("compareAllocs = %d regressions, want 2\nreport:\n%s", got, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"REGRESSED sdem/BenchmarkB",
+		"REGRESSED sdem/BenchmarkC",
+		"ok        sdem/BenchmarkA",
+		"new       sdem/BenchmarkFresh",
+		"removed   sdem/BenchmarkGone",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "REGRESSED sdem/BenchmarkA") {
+		t.Errorf("BenchmarkA within budget but flagged:\n%s", out)
+	}
+}
+
+func TestCompareAllocsImprovement(t *testing.T) {
+	baseline := Report{Benchmarks: []Entry{entry("sdem", "BenchmarkA", allocs(200))}}
+	current := Report{Benchmarks: []Entry{entry("sdem", "BenchmarkA", allocs(50))}}
+	var buf strings.Builder
+	if got := compareAllocs(&buf, baseline, current, 0.05); got != 0 {
+		t.Fatalf("improvement counted as regression:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "improved  sdem/BenchmarkA: allocs/op 200 -> 50 (-75.0%)") {
+		t.Errorf("unexpected improvement line:\n%s", buf.String())
+	}
+}

@@ -181,7 +181,10 @@ func (s *solver) coreEnergy(k int, avail float64) (float64, float64) {
 }
 
 // blockEnergy evaluates the block-local objective for tasks [from..to]
-// with busy interval [bs, be].
+// with busy interval [bs, be]. It is the innermost kernel of the O(n²)
+// block DP: every 2-D golden-section probe lands here.
+//
+//sdem:hotpath
 func (s *solver) blockEnergy(from, to int, bs, be float64) float64 {
 	s.tel.Count("sdem.solver.agr.objective_evals", 1)
 	if be <= bs {
@@ -201,7 +204,10 @@ func (s *solver) blockEnergy(from, to int, bs, be float64) float64 {
 }
 
 // blockSolve finds the optimal busy interval for tasks [from..to] by 2-D
-// convex minimization over (s', e').
+// convex minimization over (s', e'). The DP memoizes it per (from, to),
+// but that is still O(n²) solves per scheme.
+//
+//sdem:hotpath
 func (s *solver) blockSolve(from, to int) Block {
 	s.tel.Count("sdem.solver.agr.block_solves", 1)
 	first, last := s.tasks[from], s.tasks[to]
@@ -209,6 +215,7 @@ func (s *solver) blockSolve(from, to int) Block {
 		X0: first.Release, X1: first.Deadline,
 		Y0: last.Release, Y1: last.Deadline,
 	}
+	//lint:allow hotalloc: the objective closure allocates once per block solve and is amortized over its ~10³ 2-D probes
 	bs, be, cost := numeric.MinimizeConvex2D(func(x, y float64) float64 {
 		return s.blockEnergy(from, to, x, y)
 	}, box, relTol/1000)

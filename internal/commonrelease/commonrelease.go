@@ -64,6 +64,14 @@ type instance struct {
 	c       []float64   // natural completion times, ascending
 	zeros   task.Set    // zero-workload tasks (scheduled nowhere)
 	tel     *telemetry.Recorder
+
+	// scratch is the reusable candidate schedule of the golden-section
+	// objective (overhead.go): the solver audits hundreds of candidate
+	// busy lengths per solve, and rebuilding into one schedule keeps those
+	// evaluations allocation-free. Solutions handed to callers are always
+	// built fresh; the scratch never leaves the instance.
+	scratch *schedule.Schedule
+	aud     schedule.Auditor
 }
 
 // record charges one completed solve into the recorder: a per-scheme
@@ -126,6 +134,7 @@ func normalize(tasks task.Set, sys power.System, natural func(task.Task) float64
 	for i := range idx {
 		idx[i] = i
 	}
+	//lint:allow hotalloc: the index sort runs once per solve during normalization, not per objective evaluation
 	sort.SliceStable(idx, func(a, b int) bool { return in.c[idx[a]] < in.c[idx[b]] })
 	ts := make([]task.Task, len(idx))
 	cs := make([]float64, len(idx))
@@ -141,6 +150,16 @@ func normalize(tasks task.Set, sys power.System, natural func(task.Task) float64
 // core per positive-workload task (unbounded-core model).
 func (in *instance) build(L float64) *schedule.Schedule {
 	s := schedule.New(len(in.tasks), in.release, in.release+in.horizon)
+	in.buildInto(s, L)
+	return s
+}
+
+// buildInto fills s with the busy-length-L schedule, reusing s's per-core
+// segment backing across calls.
+func (in *instance) buildInto(s *schedule.Schedule, L float64) {
+	for i := range s.Cores {
+		s.Cores[i] = s.Cores[i][:0]
+	}
 	for i, t := range in.tasks {
 		end := in.c[i]
 		if end >= L-schedule.Tol {
@@ -154,7 +173,17 @@ func (in *instance) build(L float64) *schedule.Schedule {
 		})
 	}
 	s.Normalize()
-	return s
+}
+
+// energyOf audits the busy-length-L candidate through the instance's
+// scratch schedule and auditor: the golden-section objective calls this
+// once per evaluation, so nothing here may allocate after the first call.
+func (in *instance) energyOf(L float64) float64 {
+	if in.scratch == nil {
+		in.scratch = schedule.New(len(in.tasks), in.release, in.release+in.horizon)
+	}
+	in.buildInto(in.scratch, L)
+	return in.aud.Audit(in.scratch, in.sys).Total()
 }
 
 // solution audits the schedule for busy length L and wraps it.
@@ -311,6 +340,7 @@ func SolveWithStatic(tasks task.Set, sys power.System) (*Solution, error) {
 // whose critical speed s_0 was raised to the filled-speed floor
 // (sdem.solver.cr.critical_clamps).
 func SolveWithStaticTel(tasks task.Set, sys power.System, tel *telemetry.Recorder) (*Solution, error) {
+	//lint:allow hotalloc: the natural-speed closure allocates once per solve and is reused for every task
 	in, err := normalize(tasks, sys, func(t task.Task) float64 {
 		filled := t.FilledSpeed()
 		s := sys.Core.CriticalSpeed(filled)
@@ -342,7 +372,10 @@ func Solve(tasks task.Set, sys power.System) (*Solution, error) {
 }
 
 // SolveTel is Solve with telemetry attached; a nil recorder is the
-// uninstrumented path.
+// uninstrumented path. SDEM-ON re-plans through here on every arrival,
+// making this the module's hottest solver entry point.
+//
+//sdem:hotpath
 func SolveTel(tasks task.Set, sys power.System, tel *telemetry.Recorder) (*Solution, error) {
 	switch {
 	case sys.Core.BreakEven > 0 || sys.Memory.BreakEven > 0:

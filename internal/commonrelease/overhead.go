@@ -37,6 +37,7 @@ func SolveWithOverheadTel(tasks task.Set, sys power.System, tel *telemetry.Recor
 	for _, t := range tasks {
 		horizon = math.Max(horizon, t.Deadline-t.Release)
 	}
+	//lint:allow hotalloc: the natural-speed closure allocates once per solve and is reused for every task
 	natural := func(t task.Task) float64 {
 		if numeric.IsZero(sys.Core.Static, 0) {
 			// A leak-free core never benefits from finishing early;
@@ -71,6 +72,7 @@ func SolveWithOverheadTel(tasks task.Set, sys power.System, tel *telemetry.Recor
 	for i := n - 1; i >= 0; i-- {
 		sufMaxW[i] = math.Max(sufMaxW[i+1], in.tasks[i].Workload)
 	}
+	//lint:allow hotalloc: capFor allocates once per solve; its captures are amortized over the golden-section probes
 	capFor := func(L float64) float64 {
 		// Smallest feasible busy length when the aligned set is that of
 		// busy length L.
@@ -81,6 +83,7 @@ func SolveWithOverheadTel(tasks task.Set, sys power.System, tel *telemetry.Recor
 		return sufMaxW[i] / in.sys.Core.SpeedMax
 	}
 
+	//lint:allow hotalloc: the objective closure allocates once per solve and is evaluated ~10² times by golden section
 	eval := func(L float64) float64 {
 		tel.Count("sdem.solver.cr.objective_evals", 1)
 		if L <= 0 {
@@ -89,7 +92,7 @@ func SolveWithOverheadTel(tasks task.Set, sys power.System, tel *telemetry.Recor
 		if L < capFor(L)-schedule.Tol {
 			return math.Inf(1)
 		}
-		return schedule.Audit(in.build(L), in.sys).Total()
+		return in.energyOf(L)
 	}
 
 	bestL, bestE := in.c[n-1], eval(in.c[n-1])

@@ -27,6 +27,8 @@ import (
 //     E_mem ≥ α_m·WIS.
 //
 // Transition energies are non-negative, so they are bounded by zero.
+//
+//sdem:hotpath
 func LowerBound(tasks task.Set, sys power.System) float64 {
 	var coreLB float64
 	ivs := make([]window, 0, len(tasks))
@@ -57,6 +59,31 @@ type window struct {
 	release, deadline, minExec float64
 }
 
+// windowsByDeadline sorts windows ascending by deadline. The pointer
+// receiver keeps sort.Sort from boxing a fresh slice header per call,
+// which matters because LowerBound runs once per sweep point.
+type windowsByDeadline []window
+
+func (w *windowsByDeadline) Len() int           { return len(*w) }
+func (w *windowsByDeadline) Less(a, b int) bool { return (*w)[a].deadline < (*w)[b].deadline }
+func (w *windowsByDeadline) Swap(a, b int)      { (*w)[a], (*w)[b] = (*w)[b], (*w)[a] }
+
+// countEndingBy returns the number of leading windows (sorted by
+// deadline) whose deadline is ≤ r: a closure-free binary search standing
+// in for sort.Search in the DP below.
+func countEndingBy(ivs []window, r float64) int {
+	lo, hi := 0, len(ivs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ivs[mid].deadline > r {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
 // weightedDisjointWindows solves weighted interval scheduling over the
 // feasible windows: the maximum total weight of pairwise-disjoint
 // windows. O(n log n).
@@ -65,16 +92,12 @@ func weightedDisjointWindows(ivs []window) float64 {
 	if n == 0 {
 		return 0
 	}
-	sort.Slice(ivs, func(a, b int) bool { return ivs[a].deadline < ivs[b].deadline })
-	deadlines := make([]float64, n)
-	for i, v := range ivs {
-		deadlines[i] = v.deadline
-	}
+	sort.Sort((*windowsByDeadline)(&ivs))
 	opt := make([]float64, n+1)
 	for i := 1; i <= n; i++ {
 		v := ivs[i-1]
 		// p = number of windows ending at or before v.release.
-		p := sort.Search(n, func(k int) bool { return deadlines[k] > v.release })
+		p := countEndingBy(ivs, v.release)
 		take := opt[p] + v.minExec
 		opt[i] = math.Max(opt[i-1], take)
 	}

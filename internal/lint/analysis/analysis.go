@@ -26,6 +26,13 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to a single package.
 	Run func(*Pass) error
+	// FactPass, when non-nil, makes the analyzer interprocedural: the
+	// driver runs FactPass over every package (in dependency order)
+	// before any Run, letting the analyzer export Facts — e.g. "this
+	// function carries a //sdem:hotpath directive" — that every
+	// subsequent Run can read regardless of package order. Diagnostics
+	// reported from FactPass are discarded.
+	FactPass func(*Pass) error
 }
 
 // Pass carries one type-checked package through an analyzer.
@@ -35,6 +42,10 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Module is the run-wide state shared by all passes of this analyzer:
+	// call graph, fact store, memo space. Single-package drivers may
+	// leave it nil; fact methods then degrade to pass-local storage.
+	Module *Module
 
 	diagnostics []Diagnostic
 }

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+
+	"sdem/internal/lint/callgraph"
+)
+
+// Fact is a typed datum an analyzer attaches to a types.Object in one
+// package and reads back while analyzing another — the cross-package
+// channel of the interprocedural framework. Implementations are pointers
+// to structs; the marker method keeps arbitrary values out.
+type Fact interface{ AFact() }
+
+// Module is the whole-run view shared by every Pass of one analyzer: the
+// module call graph, the analyzer's fact store, and a memo space for
+// derived structures (transitive closures) that should be computed once
+// per run rather than once per package.
+//
+// The driver creates one Module per analyzer per Run invocation and
+// threads it through all passes, so facts exported while analyzing an
+// early package are visible to later packages. Package order is the
+// loader's deterministic dependency order.
+type Module struct {
+	// Dir is the module root directory ("" when the driver has no module
+	// on disk, e.g. fixture tests).
+	Dir string
+	// Graph is the module-wide call graph (nil when the driver did not
+	// build one).
+	Graph *callgraph.Graph
+
+	facts map[types.Object]map[reflect.Type]Fact
+	memo  map[string]any
+}
+
+// NewModule returns an empty Module for the given root directory and call
+// graph. Drivers call this once per analyzer per run.
+func NewModule(dir string, g *callgraph.Graph) *Module {
+	return &Module{
+		Dir:   dir,
+		Graph: g,
+		facts: make(map[types.Object]map[reflect.Type]Fact),
+		memo:  make(map[string]any),
+	}
+}
+
+// Memo returns the previously stored value under key, or computes, stores
+// and returns it. Analyzers use it for run-wide derived state such as the
+// hot-function closure.
+func (m *Module) Memo(key string, compute func() any) any {
+	if v, ok := m.memo[key]; ok {
+		return v
+	}
+	v := compute()
+	m.memo[key] = v
+	return v
+}
+
+// exportFact records fact for obj, replacing any existing fact of the same
+// concrete type.
+func (m *Module) exportFact(obj types.Object, f Fact) {
+	t := reflect.TypeOf(f)
+	if t.Kind() != reflect.Ptr {
+		panic(fmt.Sprintf("analysis: fact %T must be a pointer", f))
+	}
+	byType := m.facts[obj]
+	if byType == nil {
+		byType = make(map[reflect.Type]Fact)
+		m.facts[obj] = byType
+	}
+	byType[t] = f
+}
+
+// importFact copies the stored fact of ptr's type for obj into ptr,
+// reporting whether one existed.
+func (m *Module) importFact(obj types.Object, ptr Fact) bool {
+	t := reflect.TypeOf(ptr)
+	if t.Kind() != reflect.Ptr {
+		panic(fmt.Sprintf("analysis: fact %T must be a pointer", ptr))
+	}
+	stored, ok := m.facts[obj][t]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+// ObjectFact pairs an object with one exported fact.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// factsOfType returns every (object, fact) pair whose fact has the same
+// concrete type as sample, sorted by object position for determinism.
+func (m *Module) factsOfType(sample Fact) []ObjectFact {
+	t := reflect.TypeOf(sample)
+	var out []ObjectFact
+	for obj, byType := range m.facts {
+		if f, ok := byType[t]; ok {
+			out = append(out, ObjectFact{obj, f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Object, out[j].Object
+		if a.Pos() != b.Pos() {
+			return a.Pos() < b.Pos()
+		}
+		return objName(a) < objName(b)
+	})
+	return out
+}
+
+func objName(o types.Object) string {
+	if p := o.Pkg(); p != nil {
+		return p.Path() + "." + o.Name()
+	}
+	return o.Name()
+}
+
+// ExportObjectFact attaches fact to obj for the current analyzer's run.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	p.module().exportFact(obj, f)
+}
+
+// ImportObjectFact copies the fact of ptr's type attached to obj into ptr,
+// reporting whether one was attached. Facts exported by any earlier pass
+// of the same analyzer (any package) are visible.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	return p.module().importFact(obj, ptr)
+}
+
+// AllObjectFacts returns every fact of sample's concrete type exported so
+// far in this run, sorted by object position.
+func (p *Pass) AllObjectFacts(sample Fact) []ObjectFact {
+	return p.module().factsOfType(sample)
+}
+
+// module returns the pass's Module, lazily creating a pass-local one so
+// single-package drivers (old tests) keep working without a driver-built
+// Module; facts then live only for that one pass.
+func (p *Pass) module() *Module {
+	if p.Module == nil {
+		p.Module = NewModule("", nil)
+	}
+	return p.Module
+}

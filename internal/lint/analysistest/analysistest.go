@@ -1,8 +1,14 @@
-// Package analysistest runs a single analyzer over fixture packages laid
-// out under testdata/src/<pkg>, mirroring the x/tools analysistest
-// contract: a `// want "regexp"` comment on a source line asserts that the
-// analyzer reports a matching diagnostic on that line, and every reported
+// Package analysistest runs analyzers over fixture packages laid out
+// under testdata/src/<pkg>, mirroring the x/tools analysistest contract:
+// a `// want "regexp"` comment on a source line asserts that the analyzer
+// reports a matching diagnostic on that line, and every reported
 // diagnostic must be matched by a want comment.
+//
+// RunAnalyzers drives the full interprocedural pipeline over the fixture
+// tree: every fixture package reachable from the named ones is loaded,
+// a call graph is built across them, and each analyzer's FactPass runs
+// over all of them (dependencies first) before the reporting passes —
+// the same protocol the real lint.Run driver uses on the module.
 package analysistest
 
 import (
@@ -21,6 +27,7 @@ import (
 	"testing"
 
 	"sdem/internal/lint/analysis"
+	"sdem/internal/lint/callgraph"
 )
 
 // fixtureLoader resolves imports against testdata/src first, so fixtures
@@ -32,6 +39,7 @@ type fixtureLoader struct {
 	checked map[string]*types.Package
 	files   map[string][]*ast.File
 	infos   map[string]*types.Info
+	order   []string // completed loads, dependencies first
 	stdlib  types.Importer
 }
 
@@ -78,12 +86,23 @@ func (l *fixtureLoader) load(path string) (*types.Package, []*ast.File, error) {
 	l.checked[path] = pkg
 	l.files[path] = files
 	l.infos[path] = info
+	l.order = append(l.order, path)
 	return pkg, files, nil
 }
 
-// Run applies the analyzer to testdata/src/<pkgPath> under dir and checks
+// Run applies one analyzer to testdata/src/<pkgPath> under dir and checks
 // its diagnostics against the fixture's want comments.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	RunAnalyzers(t, dir, []*analysis.Analyzer{a}, pkgPath)
+}
+
+// RunAnalyzers applies the analyzers to the named fixture packages with
+// the full module protocol: all reachable fixture packages are loaded and
+// fact passes run over every one of them (dependencies first, exactly as
+// lint.Run orders the real module), but diagnostics are asserted only for
+// the named packages — dependency fixtures provide context, not findings.
+func RunAnalyzers(t *testing.T, dir string, analyzers []*analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	l := &fixtureLoader{
 		root:    filepath.Join(dir, "testdata", "src"),
@@ -93,23 +112,55 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
 		infos:   make(map[string]*types.Info),
 	}
 	l.stdlib = importer.ForCompiler(l.fset, "source", nil)
-	pkg, files, err := l.load(pkgPath)
-	if err != nil {
-		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	for _, pkgPath := range pkgPaths {
+		if _, _, err := l.load(pkgPath); err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgPath, err)
+		}
 	}
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      l.fset,
-		Files:     files,
-		Pkg:       pkg,
-		TypesInfo: l.infos[pkgPath],
-	}
-	if err := a.Run(pass); err != nil {
-		t.Fatalf("running %s: %v", a.Name, err)
-	}
-	diags := pass.Diagnostics()
 
-	wants := collectWants(t, l.fset, files)
+	srcs := make([]callgraph.SourcePackage, 0, len(l.order))
+	for _, path := range l.order {
+		srcs = append(srcs, callgraph.SourcePackage{
+			Fset: l.fset, Files: l.files[path], Types: l.checked[path], Info: l.infos[path],
+		})
+	}
+	graph := callgraph.Build(srcs)
+
+	newPass := func(a *analysis.Analyzer, path string, m *analysis.Module) *analysis.Pass {
+		return &analysis.Pass{
+			Analyzer:  a,
+			Fset:      l.fset,
+			Files:     l.files[path],
+			Pkg:       l.checked[path],
+			TypesInfo: l.infos[path],
+			Module:    m,
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		module := analysis.NewModule(l.root, graph)
+		if a.FactPass != nil {
+			for _, path := range l.order {
+				if err := a.FactPass(newPass(a, path, module)); err != nil {
+					t.Fatalf("fact pass %s over %s: %v", a.Name, path, err)
+				}
+			}
+		}
+		for _, path := range pkgPaths {
+			pass := newPass(a, path, module)
+			if err := a.Run(pass); err != nil {
+				t.Fatalf("running %s over %s: %v", a.Name, path, err)
+			}
+			diags = append(diags, pass.Diagnostics()...)
+		}
+	}
+
+	var wantFiles []*ast.File
+	for _, path := range pkgPaths {
+		wantFiles = append(wantFiles, l.files[path]...)
+	}
+	wants := collectWants(t, l.fset, wantFiles)
 	matched := make([]bool, len(wants))
 	for _, d := range diags {
 		found := false

@@ -1,0 +1,12 @@
+package detcheck_test
+
+import (
+	"testing"
+
+	"sdem/internal/lint/analysistest"
+	"sdem/internal/lint/detcheck"
+)
+
+func TestDetcheck(t *testing.T) {
+	analysistest.Run(t, ".", detcheck.Analyzer, "detcheck")
+}

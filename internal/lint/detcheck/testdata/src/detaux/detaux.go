@@ -1,0 +1,15 @@
+// Package detaux is a fixture dependency: Dump writes to stdout (so
+// callers of Dump transitively reach an output sink), Pure does not.
+package detaux
+
+import "fmt"
+
+// Dump prints the value: a direct emitter the fact pass must record.
+func Dump(v int) {
+	fmt.Println(v)
+}
+
+// Pure computes without output.
+func Pure(v int) int {
+	return v + 1
+}

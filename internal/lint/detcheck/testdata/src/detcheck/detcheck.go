@@ -1,0 +1,70 @@
+// Package detcheck is the fixture for the detcheck analyzer.
+package detcheck
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"detaux"
+)
+
+// helper reaches a sink in two hops: helper -> detaux.Dump -> fmt.Println.
+func helper(v int) {
+	detaux.Dump(v)
+}
+
+func directSinkInRange(m map[string]int) {
+	for k, v := range m { // want "map iteration order reaches an output sink: loop body calls fmt.Println, which writes via fmt.Println"
+		fmt.Println(k, v)
+	}
+}
+
+func crossPackageSinkInRange(m map[string]int) {
+	for _, v := range m { // want "map iteration order reaches an output sink: loop body calls Dump, which writes via fmt.Println"
+		detaux.Dump(v)
+	}
+}
+
+func twoHopSinkInRange(m map[string]int) {
+	for _, v := range m { // want "map iteration order reaches an output sink: loop body calls helper, which writes via fmt.Println"
+		helper(v)
+	}
+}
+
+func pureCallInRange(m map[string]int) int {
+	total := 0
+	for _, v := range m { // no sink reached: Pure only computes
+		total += detaux.Pure(v)
+	}
+	return total
+}
+
+func sortedEmission(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collecting keys makes no calls: clean
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+func wallClockDirect() {
+	fmt.Println(time.Now()) // want "nondeterministic value from time.Now reaches output sink fmt.Println"
+}
+
+func wallClockViaLocal() {
+	t := time.Now()
+	fmt.Println(t) // want "nondeterministic value from time.Now reaches output sink fmt.Println"
+}
+
+func globalRandToEmitter() {
+	detaux.Dump(rand.Int()) // want "nondeterministic value from rand.Int reaches output sink Dump"
+}
+
+func allowedWallClock() {
+	fmt.Println(time.Now()) //lint:allow detcheck: fixture checks suppression
+}

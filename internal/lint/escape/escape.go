@@ -1,0 +1,163 @@
+// Package escape runs the Go compiler's escape analysis
+// (`go build -gcflags=-m`) over module packages and indexes the resulting
+// diagnostics by source position.
+//
+// The hotalloc analyzer cross-checks its syntactic findings against this
+// ground truth: a construct that looks like it boxes into an interface is
+// only reported when the compiler confirms the value escapes to the heap.
+// The build cache replays -m diagnostics on unchanged packages, so
+// repeated runs are cheap and byte-stable.
+package escape
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// devNull is the discard target for the probe build's object output.
+const devNull = os.DevNull
+
+// Pos is one diagnostic position. File is absolute.
+type Pos struct {
+	File      string
+	Line, Col int
+}
+
+// Report holds the indexed escape diagnostics of one analysis run.
+type Report struct {
+	msgs map[Pos][]string
+}
+
+// heapMsg reports whether an -m diagnostic message states that something
+// is heap-allocated at its position.
+func heapMsg(msg string) bool {
+	return strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "does not escape") ||
+		strings.HasPrefix(msg, "moved to heap")
+}
+
+// Messages returns the compiler messages recorded at the position.
+func (r *Report) Messages(p Pos) []string {
+	if r == nil {
+		return nil
+	}
+	return r.msgs[p]
+}
+
+// HeapAt reports whether the compiler recorded a heap allocation
+// ("escapes to heap" / "moved to heap") at the position.
+func (r *Report) HeapAt(p Pos) bool {
+	for _, m := range r.Messages(p) {
+		if heapMsg(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// HeapOnLine reports whether any position on the given file line carries a
+// heap-allocation diagnostic. Column-insensitive: the compiler sometimes
+// anchors a diagnostic on the operand rather than the whole expression.
+func (r *Report) HeapOnLine(file string, line int) bool {
+	if r == nil {
+		return false
+	}
+	for p, msgs := range r.msgs {
+		if p.File != file || p.Line != line {
+			continue
+		}
+		for _, m := range msgs {
+			if heapMsg(m) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Len returns the number of positions carrying diagnostics.
+func (r *Report) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.msgs)
+}
+
+// Analyze compiles the given packages (import paths or ./dir patterns)
+// rooted at dir with -gcflags=-m and parses the diagnostics. The plain -m
+// flag applies to exactly the packages named on the command line, so
+// dependencies compile quietly.
+func Analyze(dir string, pkgs ...string) (*Report, error) {
+	if len(pkgs) == 0 {
+		return &Report{msgs: map[Pos][]string{}}, nil
+	}
+	args := append([]string{"build", "-o", devNull, "-gcflags=-m"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("escape: go build -gcflags=-m: %v\n%s", err, clip(stderr.String()))
+	}
+	return Parse(dir, stderr.String())
+}
+
+// clip bounds an error excerpt.
+func clip(s string) string {
+	if len(s) > 2000 {
+		return s[:2000] + "…"
+	}
+	return s
+}
+
+// Parse indexes raw -m output. Relative file paths resolve against dir.
+func Parse(dir, out string) (*Report, error) {
+	r := &Report{msgs: make(map[Pos][]string)}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		pos, msg, ok := splitDiag(strings.TrimSpace(line))
+		if !ok {
+			continue
+		}
+		if !filepath.IsAbs(pos.File) {
+			pos.File = filepath.Join(dir, pos.File)
+		}
+		r.msgs[pos] = append(r.msgs[pos], msg)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("escape: scanning -m output: %v", err)
+	}
+	return r, nil
+}
+
+// splitDiag splits "path.go:12:34: message" into position and message.
+func splitDiag(line string) (Pos, string, bool) {
+	// Find ".go:" to anchor the path end; escapes diagnostics always
+	// carry line and column.
+	i := strings.Index(line, ".go:")
+	if i < 0 {
+		return Pos{}, "", false
+	}
+	file := line[:i+3]
+	rest := line[i+4:]
+	parts := strings.SplitN(rest, ":", 3)
+	if len(parts) != 3 {
+		return Pos{}, "", false
+	}
+	ln, err1 := strconv.Atoi(parts[0])
+	col, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return Pos{}, "", false
+	}
+	return Pos{File: file, Line: ln, Col: col}, strings.TrimSpace(parts[2]), true
+}

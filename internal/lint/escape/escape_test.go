@@ -1,0 +1,85 @@
+package escape
+
+import "testing"
+
+const sample = `# sdem/internal/schedule
+internal/schedule/schedule.go:10:6: can inline Tolerance
+internal/schedule/schedule.go:42:13: s escapes to heap
+internal/schedule/schedule.go:42:13: []Segment{...} does not escape
+internal/schedule/schedule.go:57:9: moved to heap: total
+/abs/path/core.go:3:4: x escapes to heap
+
+not a diagnostic line
+`
+
+func TestParse(t *testing.T) {
+	r, err := Parse("/root/mod", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 positions", r.Len())
+	}
+
+	rel := Pos{File: "/root/mod/internal/schedule/schedule.go", Line: 42, Col: 13}
+	if !r.HeapAt(rel) {
+		t.Errorf("expected heap diagnostic at %v", rel)
+	}
+	if got := len(r.Messages(rel)); got != 2 {
+		t.Errorf("messages at %v = %d, want 2", rel, got)
+	}
+
+	inline := Pos{File: "/root/mod/internal/schedule/schedule.go", Line: 10, Col: 6}
+	if r.HeapAt(inline) {
+		t.Errorf("inline note must not count as heap allocation")
+	}
+
+	moved := Pos{File: "/root/mod/internal/schedule/schedule.go", Line: 57, Col: 9}
+	if !r.HeapAt(moved) {
+		t.Errorf("moved-to-heap must count as heap allocation")
+	}
+
+	abs := Pos{File: "/abs/path/core.go", Line: 3, Col: 4}
+	if !r.HeapAt(abs) {
+		t.Errorf("absolute paths must be preserved")
+	}
+}
+
+func TestHeapOnLine(t *testing.T) {
+	r, err := Parse("/root/mod", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := "/root/mod/internal/schedule/schedule.go"
+	if !r.HeapOnLine(file, 42) {
+		t.Errorf("line 42 carries a heap diagnostic")
+	}
+	if r.HeapOnLine(file, 10) {
+		t.Errorf("line 10 carries only an inline note")
+	}
+	if r.HeapOnLine(file, 999) {
+		t.Errorf("line 999 has no diagnostics")
+	}
+	var nilRep *Report
+	if nilRep.HeapOnLine(file, 42) || nilRep.HeapAt(Pos{}) || nilRep.Len() != 0 {
+		t.Errorf("nil report must answer negatively everywhere")
+	}
+}
+
+func TestHeapMsg(t *testing.T) {
+	cases := []struct {
+		msg  string
+		want bool
+	}{
+		{"s escapes to heap", true},
+		{"moved to heap: total", true},
+		{"[]Segment{...} does not escape", false},
+		{"can inline Audit", false},
+		{"leaking param: sys to result ~r0 level=0, content escapes to heap", true},
+	}
+	for _, c := range cases {
+		if got := heapMsg(c.msg); got != c.want {
+			t.Errorf("heapMsg(%q) = %v, want %v", c.msg, got, c.want)
+		}
+	}
+}

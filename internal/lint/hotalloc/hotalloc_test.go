@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"sdem/internal/lint/analysistest"
+	"sdem/internal/lint/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, ".", hotalloc.Analyzer, "hotalloc")
+}

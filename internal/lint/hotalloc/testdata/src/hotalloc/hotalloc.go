@@ -1,0 +1,65 @@
+// Package hotalloc is the fixture for the hotalloc analyzer.
+package hotalloc
+
+import "fmt"
+
+// Hot is a hot-path root: every allocation construct below is flagged.
+//
+//sdem:hotpath
+func Hot(xs []int) (int, error) {
+	total := 0
+
+	m := make(map[int]int)                     // want "make\\(map\\) allocates per call on //sdem:hotpath function"
+	weights := map[string]float64{"a": 1}      // want "map literal allocates per call"
+	ch := make(chan int, 1)                    // want "make\\(chan\\) allocates per call"
+	label := fmt.Sprintf("n=%d", len(xs))      // want "fmt.Sprintf boxes its arguments and allocates"
+	add := func(v int) { total += v }          // want "closure captures \"total\" and allocates per call"
+	double := func(v int) int { return 2 * v } // non-capturing: static, clean
+
+	var grown []int
+	for _, x := range xs {
+		grown = append(grown, x) // want "append grows \"grown\" inside a loop without preallocation"
+	}
+	sized := make([]int, 0, len(xs))
+	for _, x := range xs {
+		sized = append(sized, x) // preallocated above: clean
+	}
+
+	for _, x := range xs {
+		m[x] = double(x)
+		add(x)
+	}
+	ch <- total
+	_ = label
+	_ = weights
+	if total < 0 {
+		return 0, fmt.Errorf("negative total %d", total) // Errorf is the cold error path: clean
+	}
+	allowed := make(map[int]int) //lint:allow hotalloc: fixture checks suppression
+	_ = allowed
+	return total + len(grown) + len(sized) + <-ch, nil
+}
+
+// warm is not annotated but is called from Trampoline, so it is
+// transitively hot and findings name the root that reaches it.
+func warm(v int) {
+	fmt.Println(v) // want "fmt.Println boxes its arguments and allocates on hot path \\(reachable from //sdem:hotpath root Trampoline\\)"
+}
+
+// Cold is unreachable from any hot root: identical constructs stay clean.
+func Cold(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	fmt.Println(len(out))
+	_ = map[int]int{1: 2}
+	return out
+}
+
+// Trampoline keeps warm hot without annotating warm itself.
+//
+//sdem:hotpath
+func Trampoline(v int) {
+	warm(v)
+}

@@ -1,6 +1,8 @@
-// Package lint wires the sdemlint analyzers to the package loader: it runs
-// every analyzer over every requested package and collects the surviving
-// (non-suppressed) diagnostics in a stable order.
+// Package lint wires the sdemlint analyzers to the package loader: it
+// loads the requested packages, builds the module-wide call graph, runs
+// every analyzer's fact pass and then its reporting pass in deterministic
+// dependency order, and collects the surviving (non-suppressed)
+// diagnostics in a stable order.
 package lint
 
 import (
@@ -8,9 +10,13 @@ import (
 
 	"sdem/internal/lint/analysis"
 	"sdem/internal/lint/auditcheck"
+	"sdem/internal/lint/callgraph"
+	"sdem/internal/lint/detcheck"
 	"sdem/internal/lint/floatcmp"
+	"sdem/internal/lint/hotalloc"
 	"sdem/internal/lint/load"
 	"sdem/internal/lint/randsource"
+	"sdem/internal/lint/sharedmut"
 	"sdem/internal/lint/telemetrycheck"
 	"sdem/internal/lint/tolconst"
 	"sdem/internal/lint/unitcheck"
@@ -25,26 +31,55 @@ func Analyzers() []*analysis.Analyzer {
 		auditcheck.Analyzer,
 		randsource.Analyzer,
 		telemetrycheck.Analyzer,
+		detcheck.Analyzer,
+		hotalloc.Analyzer,
+		sharedmut.Analyzer,
 	}
 }
 
 // Run loads the packages matching patterns under dir and applies the given
-// analyzers, returning all findings sorted by position then analyzer name.
+// analyzers, returning all findings sorted by file, line, column, then
+// analyzer name — byte-stable regardless of package walk order.
+//
+// Analyzers with a FactPass run it over every package first (dependencies
+// before dependents), so the reporting Run passes see the complete
+// cross-package fact set and the module call graph via Pass.Module.
 func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
 	pkgs, err := load.Packages(dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
+	ordered := load.DependencyOrder(pkgs)
+
+	srcs := make([]callgraph.SourcePackage, len(ordered))
+	for i, pkg := range ordered {
+		srcs[i] = callgraph.SourcePackage{Fset: pkg.Fset, Files: pkg.Files, Types: pkg.Types, Info: pkg.Info}
+	}
+	graph := callgraph.Build(srcs)
+
+	newPass := func(a *analysis.Analyzer, pkg *load.Package, m *analysis.Module) *analysis.Pass {
+		return &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Module:    m,
+		}
+	}
+
 	var diags []analysis.Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
+	for _, a := range analyzers {
+		module := analysis.NewModule(dir, graph)
+		if a.FactPass != nil {
+			for _, pkg := range ordered {
+				if err := a.FactPass(newPass(a, pkg, module)); err != nil {
+					return nil, err
+				}
 			}
+		}
+		for _, pkg := range ordered {
+			pass := newPass(a, pkg, module)
 			if err := a.Run(pass); err != nil {
 				return nil, err
 			}

@@ -1,9 +1,12 @@
 package lint_test
 
 import (
+	"go/ast"
+	"strings"
 	"testing"
 
 	"sdem/internal/lint"
+	"sdem/internal/lint/analysis"
 )
 
 // TestRunCleanPackage smoke-tests the go list loader and runner end to end
@@ -16,4 +19,65 @@ func TestRunCleanPackage(t *testing.T) {
 	for _, d := range diags {
 		t.Errorf("unexpected finding: %s", d)
 	}
+}
+
+// TestDiagnosticOrderingByteStable drives lint.Run across several packages
+// with a probe analyzer that reports every function declaration, and
+// asserts the rendered diagnostics are byte-identical regardless of the
+// pattern order the packages were requested in, and sorted by file, line,
+// column. This is the determinism contract CI diffs rely on: reordering
+// the build list must never reorder the findings.
+func TestDiagnosticOrderingByteStable(t *testing.T) {
+	probe := &analysis.Analyzer{
+		Name: "orderprobe",
+		Doc:  "reports every function declaration; exercises diagnostic ordering only",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					if fd, ok := decl.(*ast.FuncDecl); ok {
+						pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+	patterns := []string{"sdem/internal/power", "sdem/internal/task", "sdem/internal/numeric"}
+	render := func(ps []string) []string {
+		diags, err := lint.Run(".", ps, []*analysis.Analyzer{probe})
+		if err != nil {
+			t.Fatalf("lint.Run(%v): %v", ps, err)
+		}
+		out := make([]string, len(diags))
+		for i, d := range diags {
+			out[i] = d.String()
+		}
+		return out
+	}
+
+	forward := render(patterns)
+	reversed := render([]string{patterns[2], patterns[1], patterns[0]})
+
+	if len(forward) == 0 {
+		t.Fatal("probe reported no diagnostics; the ordering assertion is vacuous")
+	}
+	if len(forward) != len(reversed) {
+		t.Fatalf("diagnostic count depends on pattern order: %d vs %d", len(forward), len(reversed))
+	}
+	for i := range forward {
+		if forward[i] != reversed[i] {
+			t.Fatalf("diagnostic %d differs with pattern order:\n  forward:  %s\n  reversed: %s", i, forward[i], reversed[i])
+		}
+	}
+	// The rendered stream must be sorted by file, then line, then column.
+	for i := 1; i < len(forward); i++ {
+		a, b := forward[i-1], forward[i]
+		if fileOf(a) > fileOf(b) {
+			t.Fatalf("diagnostics not sorted by file:\n  %s\n  %s", a, b)
+		}
+	}
+}
+
+func fileOf(rendered string) string {
+	return rendered[:strings.Index(rendered, ":")]
 }

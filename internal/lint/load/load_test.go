@@ -1,0 +1,85 @@
+package load
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// modRoot walks up from the working directory to the module root so the
+// tests can load real module packages through `go list`.
+func modRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+func TestPackagesMissingPattern(t *testing.T) {
+	_, err := Packages(modRoot(t), "./internal/no/such/package")
+	if err == nil {
+		t.Fatal("expected an error for a nonexistent package pattern")
+	}
+	if !strings.Contains(err.Error(), "go list") {
+		t.Errorf("error should surface the go list failure, got: %v", err)
+	}
+}
+
+// TestStdlibFallback checks that a module package importing only stdlib
+// type-checks through the source importer (no export data, no proxy).
+func TestStdlibFallback(t *testing.T) {
+	pkgs, err := Packages(modRoot(t), "./internal/task")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+		t.Fatal("package not fully type-checked")
+	}
+	if len(p.Imports) == 0 {
+		t.Error("go list imports should be recorded for dependency ordering")
+	}
+}
+
+func TestDependencyOrder(t *testing.T) {
+	mk := func(path string, imports ...string) *Package {
+		return &Package{PkgPath: path, Imports: imports}
+	}
+	// c imports b imports a; d is independent. Input is lexicographic, the
+	// order lint.Run receives from Packages.
+	a, b, c, d := mk("m/a"), mk("m/b", "m/a"), mk("m/c", "m/b", "fmt"), mk("m/d")
+	got := DependencyOrder([]*Package{a, b, c, d})
+	idx := make(map[string]int)
+	for i, p := range got {
+		idx[p.PkgPath] = i
+	}
+	if !(idx["m/a"] < idx["m/b"] && idx["m/b"] < idx["m/c"]) {
+		t.Errorf("dependencies must precede dependents: %v", idx)
+	}
+	if len(got) != 4 {
+		t.Fatalf("got %d packages, want 4", len(got))
+	}
+
+	// Same set, same order out — byte-stable across runs.
+	again := DependencyOrder([]*Package{a, b, c, d})
+	for i := range got {
+		if got[i].PkgPath != again[i].PkgPath {
+			t.Fatalf("order not deterministic at %d: %s vs %s", i, got[i].PkgPath, again[i].PkgPath)
+		}
+	}
+}

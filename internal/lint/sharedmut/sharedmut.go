@@ -1,0 +1,204 @@
+// Package sharedmut implements the sdemlint analyzer that checks worker
+// closures passed to parallel.Map for shared mutable state.
+//
+// parallel.Map's contract is that worker i owns exactly the indices it is
+// handed: writing out[i] is safe, while writing any other captured
+// variable races with sibling workers and — worse for this module —
+// makes results depend on worker count and interleaving, breaking the
+// determinism contract. The analyzer flags assignments and ++/--
+// statements inside a parallel.Map worker whose target is captured from
+// the enclosing scope, with two exemptions:
+//
+//   - indexed writes whose index expression uses a worker parameter
+//     (the owned-index idiom: out[i] = v), and
+//   - closures that take a sync.Mutex/RWMutex lock anywhere in the body
+//     (coarse: the analyzer does not prove the write is inside the
+//     critical section, only that the author thought about locking).
+package sharedmut
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sdem/internal/lint/analysis"
+)
+
+// Analyzer is the sharedmut pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "sharedmut",
+	Doc: "flags writes to captured variables inside parallel.Map worker closures; " +
+		"workers must write only through their own index parameter, hold a mutex, or use " +
+		"sync/atomic — anything else races and breaks worker-count determinism",
+	Run: run,
+}
+
+// isParallelMap reports whether the call is parallel.Map. Matching is by
+// package-path suffix so testdata fixture packages exercise the analyzer
+// without replicating the module path.
+func isParallelMap(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Map" || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == "parallel" || strings.HasSuffix(path, "/parallel")
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isParallelMap(pass.TypesInfo, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					checkWorker(pass, lit)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWorker inspects one worker closure for captured-variable writes.
+func checkWorker(pass *analysis.Pass, lit *ast.FuncLit) {
+	if takesLock(pass, lit) {
+		return
+	}
+	params := paramObjects(pass, lit)
+
+	report := func(target ast.Expr, idx ast.Expr) {
+		base := baseIdent(target)
+		if base == nil {
+			return
+		}
+		v, ok := pass.TypesInfo.Uses[base].(*types.Var)
+		if !ok || v.IsField() {
+			return
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return // the worker's own local or parameter
+		}
+		if idx != nil && usesAny(pass, idx, params) {
+			return // owned-index write: out[i] = v
+		}
+		pass.Reportf(target.Pos(), "parallel.Map worker writes captured variable %q; write only through the worker's index parameter, or guard with a mutex — unsynchronized writes race and break worker-count determinism", v.Name())
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				target, idx := splitIndex(lhs)
+				report(target, idx)
+			}
+		case *ast.IncDecStmt:
+			target, idx := splitIndex(n.X)
+			report(target, idx)
+		}
+		return true
+	})
+}
+
+// splitIndex peels one indexing layer: for s[i] it returns (s, i); for
+// anything else (target, nil).
+func splitIndex(e ast.Expr) (ast.Expr, ast.Expr) {
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		return ix.X, ix.Index
+	}
+	return e, nil
+}
+
+// baseIdent unwraps selectors, stars, parens, and further indexing down to
+// the root identifier of an assignment target.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// paramObjects collects the worker closure's parameter objects.
+func paramObjects(pass *analysis.Pass, lit *ast.FuncLit) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if lit.Type.Params == nil {
+		return out
+	}
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// usesAny reports whether the expression references any of the objects.
+func usesAny(pass *analysis.Pass, e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && objs[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// takesLock reports whether the closure body calls Lock/RLock on a sync
+// mutex anywhere.
+func takesLock(pass *analysis.Pass, lit *ast.FuncLit) bool {
+	locked := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if locked {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		locked = true
+		return false
+	})
+	return locked
+}

@@ -1,0 +1,12 @@
+package sharedmut_test
+
+import (
+	"testing"
+
+	"sdem/internal/lint/analysistest"
+	"sdem/internal/lint/sharedmut"
+)
+
+func TestSharedmut(t *testing.T) {
+	analysistest.Run(t, ".", sharedmut.Analyzer, "sharedmut")
+}

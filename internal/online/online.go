@@ -67,26 +67,32 @@ func Schedule(tasks task.Set, sys power.System, opts Options) (*sim.Result, erro
 	pool.SetTelemetry(opts.Telemetry, who)
 	arrivals := pool.ArrivalTimes()
 	busyUntil := make([]float64, pool.Cores())
+	// Plan backing reused across arrivals: every step rebinds the same
+	// slice, so one allocation serves the whole run.
+	var scratch []plan
 
 	for k, now := range arrivals {
 		next := math.Inf(1)
 		if k+1 < len(arrivals) {
 			next = arrivals[k+1]
 		}
-		if err := step(pool, busyUntil, now, next, opts); err != nil {
+		if err := step(pool, busyUntil, &scratch, now, next, opts); err != nil {
 			return nil, err
 		}
 	}
 	return pool.Finish()
 }
 
-// step plans at time now and executes until next.
-func step(pool *sim.Pool, busyUntil []float64, now, next float64, opts Options) error {
+// step plans at time now and executes until next. It runs once per
+// arrival: everything below it is the SDEM-ON hot path.
+//
+//sdem:hotpath
+func step(pool *sim.Pool, busyUntil []float64, scratch *[]plan, now, next float64, opts Options) error {
 	active := pool.Released(now)
 	if len(active) == 0 {
 		return nil
 	}
-	plans, wake, err := makePlans(pool, active, now, opts)
+	plans, wake, err := makePlans(pool, active, scratch, now, opts)
 	if err != nil {
 		return err
 	}
@@ -121,6 +127,8 @@ type Plan struct {
 // every arrival, exported so the resilient runtime's recovery chain can
 // re-plan mid-execution after a fault. Infeasibility surfaces as an error
 // wrapping schedule.ErrInfeasible.
+//
+//sdem:hotpath
 func PlanAt(pool *sim.Pool, active []*sim.Job, now float64, opts Options) ([]Plan, float64, error) {
 	tel := opts.Telemetry
 	tel.Count("sdem.solver.online.plans", 1)
@@ -138,6 +146,7 @@ func PlanAt(pool *sim.Pool, active []*sim.Job, now float64, opts Options) ([]Pla
 		if window <= 0 || (sys.Core.SpeedMax > 0 && j.Remaining/window > sys.Core.SpeedMax) {
 			// Already beyond salvation at a stretched speed: race at
 			// s_up immediately; the pool records the miss if it is one.
+			//lint:allow hotalloc: urgent stays nil on the feasible fast path; preallocating would cost an allocation on every plan
 			urgent = append(urgent, j)
 			continue
 		}
@@ -155,6 +164,7 @@ func PlanAt(pool *sim.Pool, active []*sim.Job, now float64, opts Options) ([]Pla
 		if err != nil {
 			return nil, 0, fmt.Errorf("online: planning at t=%g: %w", now, err)
 		}
+		//lint:allow hotalloc: one size-hinted map per re-plan (per arrival), not per objective evaluation
 		ends := make(map[int]float64, len(virtual))
 		for _, segs := range sol.Schedule.Cores {
 			for _, sg := range segs {
@@ -192,20 +202,18 @@ func PlanAt(pool *sim.Pool, active []*sim.Job, now float64, opts Options) ([]Pla
 }
 
 // makePlans binds PlanAt's result back to the pool's job objects for the
-// execute step.
-func makePlans(pool *sim.Pool, active []*sim.Job, now float64, opts Options) ([]plan, float64, error) {
+// execute step, reusing the caller's scratch backing.
+func makePlans(pool *sim.Pool, active []*sim.Job, scratch *[]plan, now float64, opts Options) ([]plan, float64, error) {
 	pub, wake, err := PlanAt(pool, active, now, opts)
 	if err != nil {
 		return nil, 0, err
 	}
-	byID := make(map[int]*sim.Job, len(active))
-	for _, j := range active {
-		byID[j.Task.ID] = j
-	}
-	plans := make([]plan, 0, len(pub))
+	plans := (*scratch)[:0]
 	for _, pl := range pub {
-		plans = append(plans, plan{job: byID[pl.TaskID], p: pl.P, speed: pl.Speed})
+		//lint:allow hotalloc: appends into the reused scratch backing; it grows only until the run's high-water active count
+		plans = append(plans, plan{job: pool.Job(pl.TaskID), p: pl.P, speed: pl.Speed})
 	}
+	*scratch = plans
 	return plans, wake, nil
 }
 
@@ -216,16 +224,25 @@ func effectiveMax(sys power.System) float64 {
 	return 1e12 // effectively unbounded
 }
 
+// plansEDF sorts plans by deadline then task ID. The pointer receiver
+// avoids boxing a fresh slice header into sort.Interface on every step.
+type plansEDF []plan
+
+func (p *plansEDF) Len() int { return len(*p) }
+func (p *plansEDF) Less(a, b int) bool {
+	s := *p
+	//lint:allow floatcmp: sort tie-breaking must be exact to keep the comparator transitive
+	if s[a].job.Task.Deadline != s[b].job.Task.Deadline {
+		return s[a].job.Task.Deadline < s[b].job.Task.Deadline
+	}
+	return s[a].job.Task.ID < s[b].job.Task.ID
+}
+func (p *plansEDF) Swap(a, b int) { (*p)[a], (*p)[b] = (*p)[b], (*p)[a] }
+
 // execute lays the planned executions onto cores from wake until next,
 // EDF-ordered, waiting for cores when oversubscribed.
 func execute(pool *sim.Pool, busyUntil []float64, plans []plan, wake, next float64) error {
-	sort.SliceStable(plans, func(a, b int) bool {
-		//lint:allow floatcmp: sort tie-breaking must be exact to keep the comparator transitive
-		if plans[a].job.Task.Deadline != plans[b].job.Task.Deadline {
-			return plans[a].job.Task.Deadline < plans[b].job.Task.Deadline
-		}
-		return plans[a].job.Task.ID < plans[b].job.Task.ID
-	})
+	sort.Stable((*plansEDF)(&plans))
 	sys := pool.System()
 	for _, pl := range plans {
 		start := wake

@@ -117,19 +117,45 @@ func (s *Schedule) Add(core int, sg Segment) {
 	s.Cores[core] = append(s.Cores[core], sg)
 }
 
+// segmentsByStart sorts segments by start time. Sorting goes through a
+// pointer receiver so the sort.Interface conversion stays allocation-free
+// on the audit hot path (a slice header boxed by value would escape).
+type segmentsByStart []Segment
+
+func (x *segmentsByStart) Len() int           { return len(*x) }
+func (x *segmentsByStart) Swap(i, j int)      { (*x)[i], (*x)[j] = (*x)[j], (*x)[i] }
+func (x *segmentsByStart) Less(i, j int) bool { return (*x)[i].Start < (*x)[j].Start }
+
+// segmentsSorted reports whether the segments are already ordered by start
+// time — the common case when algorithms append in time order, letting
+// Normalize skip the sort (and its allocations) entirely.
+func segmentsSorted(segs []Segment) bool {
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Start < segs[i-1].Start {
+			return false
+		}
+	}
+	return true
+}
+
 // Normalize sorts every core's segments by start time and drops empty
 // segments. It must be called (or segments added in order) before
 // validation or audit.
+//
+//sdem:hotpath
 func (s *Schedule) Normalize() {
 	for c := range s.Cores {
 		segs := s.Cores[c][:0]
 		for _, sg := range s.Cores[c] {
 			if sg.End-sg.Start > Tol/10 {
+				//lint:allow hotalloc: filters in place into s.Cores[c][:0]; len never exceeds the existing cap
 				segs = append(segs, sg)
 			}
 		}
-		sort.Slice(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
 		s.Cores[c] = segs
+		if !segmentsSorted(segs) {
+			sort.Sort((*segmentsByStart)(&s.Cores[c]))
+		}
 	}
 }
 
@@ -386,9 +412,97 @@ func gapCost(g, alpha, xi float64, p SleepPolicy) (static, transition, slept flo
 	}
 }
 
+// intervalsByStart sorts intervals by start time through a pointer
+// receiver, keeping the sort.Interface conversion allocation-free on the
+// audit hot path.
+type intervalsByStart []Interval
+
+func (x *intervalsByStart) Len() int           { return len(*x) }
+func (x *intervalsByStart) Swap(i, j int)      { (*x)[i], (*x)[j] = (*x)[j], (*x)[i] }
+func (x *intervalsByStart) Less(i, j int) bool { return (*x)[i].Start < (*x)[j].Start }
+
+// Auditor audits schedules through a reusable interval scratch buffer.
+// The golden-section solver of the overhead scheme audits a fresh
+// candidate schedule per objective evaluation — hundreds of times per
+// solve — so the audit must not allocate per call. A zero Auditor is
+// ready to use; it is not safe for concurrent use.
+//
+// The package-level Audit and AuditPerCore construct a throwaway Auditor:
+// same results, no reuse.
+type Auditor struct {
+	ivs intervalsByStart
+}
+
+// mergedCore fills the scratch with the merged busy intervals of one
+// core's segments. The result aliases the scratch: consume it before the
+// next merged* call.
+func (a *Auditor) mergedCore(segs []Segment) []Interval {
+	a.ivs = a.ivs[:0]
+	for _, sg := range segs {
+		a.ivs = append(a.ivs, Interval{sg.Start, sg.End})
+	}
+	return a.merge()
+}
+
+// mergedAll fills the scratch with the merged busy intervals of every
+// core — the memory's busy intervals. Same aliasing rule as mergedCore.
+func (a *Auditor) mergedAll(s *Schedule) []Interval {
+	a.ivs = a.ivs[:0]
+	for _, segs := range s.Cores {
+		for _, sg := range segs {
+			a.ivs = append(a.ivs, Interval{sg.Start, sg.End})
+		}
+	}
+	return a.merge()
+}
+
+// merge sorts (if needed) and merges the scratch in place. Merging is
+// order-insensitive among equal starts, so the result is identical to
+// MergeIntervals on the same multiset of intervals.
+func (a *Auditor) merge() []Interval {
+	ivs := a.ivs
+	if len(ivs) == 0 {
+		return nil
+	}
+	sorted := true
+	for i := 1; i < len(ivs); i++ {
+		if ivs[i].Start < ivs[i-1].Start {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		sort.Sort(&a.ivs)
+	}
+	// In-place merge: the write index never passes the read index.
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.Start <= last.End+Tol {
+			if iv.End > last.End {
+				last.End = iv.End
+			}
+		} else {
+			//lint:allow hotalloc: appends into the a.ivs backing it reads from; len never exceeds the existing cap
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// chargeCoreGap charges one core idle gap into the breakdown.
+func chargeCoreGap(b *Breakdown, g float64, core power.Core, p SleepPolicy) {
+	st, tr, _, slept := gapCost(g, core.Static, core.BreakEven, p)
+	b.CoreStatic += st
+	b.CoreTransition += tr
+	if slept {
+		b.CoreSleeps++
+	}
+}
+
 // auditCore charges one core's execution, idle gaps and DVS switches
 // into the breakdown.
-func auditCore(b *Breakdown, s *Schedule, core power.Core, segs []Segment) {
+func (a *Auditor) auditCore(b *Breakdown, s *Schedule, core power.Core, segs []Segment) {
 	horizon := math.Max(0, s.End-s.Start)
 	for i, sg := range segs {
 		d := sg.End - sg.Start
@@ -411,41 +525,96 @@ func auditCore(b *Breakdown, s *Schedule, core power.Core, segs []Segment) {
 		}
 		return
 	}
-	for _, g := range gaps(busyIntervals(segs), s.Start, s.End) {
-		st, tr, _, slept := gapCost(g.Len(), core.Static, core.BreakEven, s.CorePolicy)
-		b.CoreStatic += st
-		b.CoreTransition += tr
-		if slept {
-			b.CoreSleeps++
+	// Walk the gaps between merged busy intervals without materializing
+	// them: same arithmetic as gaps(), in the same order.
+	cur := s.Start
+	for _, iv := range a.mergedCore(segs) {
+		if iv.Start > cur+Tol {
+			chargeCoreGap(b, iv.Start-cur, core, s.CorePolicy)
 		}
+		if iv.End > cur {
+			cur = iv.End
+		}
+	}
+	if s.End > cur+Tol {
+		chargeCoreGap(b, s.End-cur, core, s.CorePolicy)
+	}
+}
+
+// auditMemory charges memory busy time and idle gaps into the breakdown.
+func (a *Auditor) auditMemory(b *Breakdown, s *Schedule, mem power.Memory) {
+	horizon := math.Max(0, s.End-s.Start)
+	busy := a.mergedAll(s)
+	var busyLen float64
+	for _, iv := range busy {
+		busyLen += iv.Len()
+	}
+	b.MemoryStatic += mem.Static * busyLen
+	if numeric.IsZero(busyLen, Tol) {
+		// Memory never woke: it sleeps through the whole horizon for
+		// free under sleeping policies, or idles under SleepNever.
+		if s.MemoryPolicy == SleepNever {
+			b.MemoryStatic += mem.Static * horizon
+		} else {
+			b.MemorySleep += horizon
+		}
+		return
+	}
+	cur := s.Start
+	for _, iv := range busy {
+		if iv.Start > cur+Tol {
+			a.chargeMemGap(b, iv.Start-cur, mem, s.MemoryPolicy)
+		}
+		if iv.End > cur {
+			cur = iv.End
+		}
+	}
+	if s.End > cur+Tol {
+		a.chargeMemGap(b, s.End-cur, mem, s.MemoryPolicy)
+	}
+}
+
+// chargeMemGap charges one memory idle gap into the breakdown.
+func (a *Auditor) chargeMemGap(b *Breakdown, g float64, mem power.Memory, p SleepPolicy) {
+	st, tr, slept, sl := gapCost(g, mem.Static, mem.BreakEven, p)
+	b.MemoryStatic += st
+	b.MemoryTransition += tr
+	b.MemorySleep += slept
+	if sl {
+		b.MemorySleeps++
 	}
 }
 
 // Audit derives the energy breakdown of the schedule under the given
-// system model. It is deliberately independent from every algorithm's
-// internal arithmetic.
-func Audit(s *Schedule, sys power.System) Breakdown {
+// (homogeneous-core) system model, reusing the auditor's scratch.
+//
+//sdem:hotpath
+func (a *Auditor) Audit(s *Schedule, sys power.System) Breakdown {
+	var b Breakdown
 	numCores := s.NumCores
 	if len(s.Cores) > numCores {
 		numCores = len(s.Cores)
 	}
-	cores := make([]power.Core, numCores)
-	for i := range cores {
-		cores[i] = sys.Core
+	for c := 0; c < numCores; c++ {
+		var segs []Segment
+		if c < len(s.Cores) {
+			segs = s.Cores[c]
+		}
+		a.auditCore(&b, s, sys.Core, segs)
 	}
-	return AuditPerCore(s, cores, sys.Memory)
+	a.auditMemory(&b, s, sys.Memory)
+	return b
 }
 
-// AuditPerCore audits a schedule on heterogeneous cores: cores[i] is the
-// power model of core i (§4's heterogeneous-core extension). Cores beyond
-// len(cores) reuse the last model.
-func AuditPerCore(s *Schedule, cores []power.Core, mem power.Memory) Breakdown {
+// AuditPerCore audits a schedule on heterogeneous cores, reusing the
+// auditor's scratch: cores[i] is the power model of core i (§4's
+// heterogeneous-core extension). Cores beyond len(cores) reuse the last
+// model.
+func (a *Auditor) AuditPerCore(s *Schedule, cores []power.Core, mem power.Memory) Breakdown {
 	var b Breakdown
-	horizon := math.Max(0, s.End-s.Start)
 	if len(cores) == 0 {
-		cores = []power.Core{{}}
+		cores = defaultCores
 	}
-
 	numCores := s.NumCores
 	if len(s.Cores) > numCores {
 		numCores = len(s.Cores)
@@ -459,36 +628,27 @@ func AuditPerCore(s *Schedule, cores []power.Core, mem power.Memory) Breakdown {
 		if c < len(cores) {
 			model = cores[c]
 		}
-		auditCore(&b, s, model, segs)
+		a.auditCore(&b, s, model, segs)
 	}
-
-	sys := power.System{Memory: mem}
-
-	// Memory.
-	busy := s.MemoryBusy()
-	var busyLen float64
-	for _, iv := range busy {
-		busyLen += iv.Len()
-	}
-	b.MemoryStatic += sys.Memory.Static * busyLen
-	if numeric.IsZero(busyLen, Tol) {
-		// Memory never woke: it sleeps through the whole horizon for
-		// free under sleeping policies, or idles under SleepNever.
-		if s.MemoryPolicy == SleepNever {
-			b.MemoryStatic += sys.Memory.Static * horizon
-		} else {
-			b.MemorySleep += horizon
-		}
-		return b
-	}
-	for _, g := range gaps(busy, s.Start, s.End) {
-		st, tr, slept, sl := gapCost(g.Len(), sys.Memory.Static, sys.Memory.BreakEven, s.MemoryPolicy)
-		b.MemoryStatic += st
-		b.MemoryTransition += tr
-		b.MemorySleep += slept
-		if sl {
-			b.MemorySleeps++
-		}
-	}
+	a.auditMemory(&b, s, mem)
 	return b
+}
+
+// defaultCores is the zero-model fallback for AuditPerCore with no cores.
+var defaultCores = []power.Core{{}}
+
+// Audit derives the energy breakdown of the schedule under the given
+// system model. It is deliberately independent from every algorithm's
+// internal arithmetic.
+func Audit(s *Schedule, sys power.System) Breakdown {
+	var a Auditor
+	return a.Audit(s, sys)
+}
+
+// AuditPerCore audits a schedule on heterogeneous cores: cores[i] is the
+// power model of core i (§4's heterogeneous-core extension). Cores beyond
+// len(cores) reuse the last model.
+func AuditPerCore(s *Schedule, cores []power.Core, mem power.Memory) Breakdown {
+	var a Auditor
+	return a.AuditPerCore(s, cores, mem)
 }

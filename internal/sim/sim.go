@@ -216,30 +216,44 @@ func (p *Pool) ArrivalTimes() []float64 {
 	return out
 }
 
+// jobsEDF sorts jobs by deadline then task ID. The pointer receiver
+// avoids boxing a fresh slice header into sort.Interface on every
+// Released call (once per arrival on the online hot path).
+type jobsEDF []*Job
+
+func (s *jobsEDF) Len() int { return len(*s) }
+func (s *jobsEDF) Less(a, b int) bool {
+	js := *s
+	//lint:allow floatcmp: sort tie-breaking must be exact to keep the comparator transitive
+	if js[a].Task.Deadline != js[b].Task.Deadline {
+		return js[a].Task.Deadline < js[b].Task.Deadline
+	}
+	return js[a].Task.ID < js[b].Task.ID
+}
+func (s *jobsEDF) Swap(a, b int) { (*s)[a], (*s)[b] = (*s)[b], (*s)[a] }
+
 // Released returns the unfinished jobs with release ≤ t, by deadline
-// order (EDF).
+// order (EDF). The result is freshly allocated — callers hold it across
+// a planning step — but sized up front so the append loop never regrows.
 func (p *Pool) Released(t float64) []*Job {
-	var out []*Job
+	out := make([]*Job, 0, len(p.order))
 	for _, id := range p.order {
 		j := p.jobs[id]
 		if !j.Done && j.Task.Release <= t+schedule.Tol {
 			out = append(out, j)
 		}
 	}
-	sort.SliceStable(out, func(a, b int) bool {
-		//lint:allow floatcmp: sort tie-breaking must be exact to keep the comparator transitive
-		if out[a].Task.Deadline != out[b].Task.Deadline {
-			return out[a].Task.Deadline < out[b].Task.Deadline
-		}
-		return out[a].Task.ID < out[b].Task.ID
-	})
+	sort.Stable((*jobsEDF)(&out))
 	return out
 }
 
 // Run executes the job on the given core from t0 to t1 at the given
 // speed, emitting a segment and decrementing the remaining workload. The
 // executed work is capped at the job's remaining amount (the segment is
-// shortened accordingly). It returns the actual segment end time.
+// shortened accordingly). It returns the actual segment end time. Every
+// planned segment of every online run lands here.
+//
+//sdem:hotpath
 func (p *Pool) Run(taskID, core int, t0, t1, speed float64) (float64, error) {
 	j, ok := p.jobs[taskID]
 	switch {
