@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test lint fmt fuzz trace-demo bench bench-gate
+.PHONY: check build vet test lint fmt fuzz trace-demo bench bench-gate overload-smoke
 
 # check chains the same steps CI runs (.github/workflows/ci.yml).
 check: build vet test lint
@@ -30,25 +30,41 @@ trace-demo:
 	@echo "wrote trace-demo.metrics and trace-demo.json (load the .json in ui.perfetto.dev)"
 
 # bench runs the fast micro-benchmarks and snapshots them to
-# BENCH_6.json via cmd/benchreport, comparing allocs/op against the
-# committed BENCH_5.json baseline (fails on >5% growth), so baselines can
+# BENCH_7.json via cmd/benchreport, comparing allocs/op against the
+# committed BENCH_6.json baseline (fails on >5% growth), so baselines can
 # be diffed in review and regressions gate. The figure-scale sweeps
 # (Fig6*/Fig7*/Table3/Sweep*) are excluded: they take minutes and are run
 # manually when sweep performance is the topic.
-BENCH_PATTERN = SolveCommonRelease|SolveAgreeableDP|SolveHeterogeneous|ScheduleOnline|MBKPBaseline|Audit|FFT1024|PartitionExact|Quantize|LowerBound|Telemetry|Uninstrumented|SnapshotDisabled
+BENCH_PATTERN = SolveCommonRelease|SolveAgreeableDP|SolveHeterogeneous|ScheduleOnline|MBKPBaseline|Audit|FFT1024|PartitionExact|Quantize|LowerBound|Telemetry|Uninstrumented|SnapshotDisabled|CanonicalKey
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' \
-		-benchmem ./... | tee /dev/stderr | $(GO) run ./cmd/benchreport -out BENCH_6.json -compare BENCH_5.json
-	@echo "wrote BENCH_6.json"
+		-benchmem ./... | tee /dev/stderr | $(GO) run ./cmd/benchreport -out BENCH_7.json -compare BENCH_6.json
+	@echo "wrote BENCH_7.json"
 
 # bench-gate re-runs the micro-benchmarks without touching the committed
-# snapshot and fails if any allocs/op regressed >5% vs the BENCH_6.json
+# snapshot and fails if any allocs/op regressed >5% vs the BENCH_7.json
 # baseline. This is the CI alloc-regression gate; allocs/op (unlike ns/op)
 # is deterministic for a fixed binary, so it never flakes under load.
 bench-gate:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 100x \
-		-benchmem ./... | $(GO) run ./cmd/benchreport -compare BENCH_6.json > /dev/null
+		-benchmem ./... | $(GO) run ./cmd/benchreport -compare BENCH_7.json > /dev/null
+
+# overload-smoke reproduces the CI overload drill locally: a low-capacity
+# sdemd under 2x-plus load must shed (429 + Retry-After) without a single
+# 5xx, and repeated hot task sets must land in the schedule cache.
+overload-smoke:
+	$(GO) build -o sdemd.smoke ./cmd/sdemd && $(GO) build -o sdemload.smoke ./cmd/sdemload
+	./sdemd.smoke -addr 127.0.0.1:0 -addr-file sdemd.smoke.addr \
+		-admit-concurrency 2 -admit-queue 2 \
+		-chaos-rate 0.8 -chaos-max-delay 200ms & \
+	PID=$$!; \
+	for i in $$(seq 1 50); do [ -s sdemd.smoke.addr ] && break; sleep 0.1; done; \
+	ADDR=$$(cat sdemd.smoke.addr); \
+	./sdemload.smoke -addr "$$ADDR" -op simulate -duration 5s -concurrency 24 \
+		-tasks 30 -hot 0.7 -slow 1 -require-shed -max-5xx 0 -out loadreport.json; \
+	STATUS=$$?; kill $$PID 2>/dev/null; wait $$PID 2>/dev/null; \
+	rm -f sdemd.smoke sdemload.smoke sdemd.smoke.addr; exit $$STATUS
 
 fmt:
 	gofmt -l -w .

@@ -10,6 +10,15 @@
 //	curl -s localhost:8080/metrics
 //	curl -s -d '{"tasks":[{"ID":0,"Release":0,"Deadline":0.05,"Workload":2e6}]}' localhost:8080/v1/solve
 //
+// Overload behavior: every compute route runs behind a deadline-aware
+// admission gate (-admit-concurrency, -admit-queue). Requests carry a
+// deadline budget (X-Budget-Ms header, default -budget) that bounds queue
+// wait plus computation; overload sheds with 429 + Retry-After instead of
+// queueing without bound. Identical task sets are answered from a
+// coalescing schedule cache (-cache). The -chaos-* flags inject a seeded,
+// replayable storm of serve-layer faults for resilience testing; drive
+// the whole machinery with cmd/sdemload.
+//
 // SIGINT/SIGTERM trigger a graceful drain: /readyz flips to 503, in-flight
 // requests get -grace to finish, and the process exits 0 on a clean drain.
 package main
@@ -25,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"sdem/internal/faults"
 	"sdem/internal/parallel"
 	"sdem/internal/power"
 	"sdem/internal/serve"
@@ -39,56 +49,105 @@ func defaultSystem(cores int) power.System {
 	return sys
 }
 
+type options struct {
+	addr, addrFile string
+	cores, workers int
+	ring           int
+	logFmt         string
+	grace          time.Duration
+	concurrency    int
+	queueDepth     int
+	budget         time.Duration
+	maxBudget      time.Duration
+	cacheSize      int
+	chaosRate      float64
+	chaosSeed      int64
+	chaosKinds     string
+	chaosMaxDelay  time.Duration
+}
+
 func main() {
-	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (use port 0 for an ephemeral port)")
-		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts driving an ephemeral port)")
-		cores    = flag.Int("cores", 8, "default platform core count for requests that carry no system")
-		workers  = flag.Int("workers", 0, "batch worker pool width (0 = one per CPU)")
-		ring     = flag.Int("ring", 64, "trace replay ring size (requests retained for /debug/trace)")
-		logFmt   = flag.String("log", "text", "request log format: text|json (always on stderr)")
-		grace    = flag.Duration("grace", 5*time.Second, "graceful-shutdown drain budget")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address (use port 0 for an ephemeral port)")
+	flag.StringVar(&o.addrFile, "addr-file", "", "write the bound address to this file once listening (for scripts driving an ephemeral port)")
+	flag.IntVar(&o.cores, "cores", 8, "default platform core count for requests that carry no system")
+	flag.IntVar(&o.workers, "workers", 0, "batch worker pool width (0 = one per CPU)")
+	flag.IntVar(&o.ring, "ring", 64, "trace replay ring size (requests retained for /debug/trace)")
+	flag.StringVar(&o.logFmt, "log", "text", "request log format: text|json (always on stderr)")
+	flag.DurationVar(&o.grace, "grace", 5*time.Second, "graceful-shutdown drain budget")
+	flag.IntVar(&o.concurrency, "admit-concurrency", 0, "executing-request cap per compute route (0 = 2x workers)")
+	flag.IntVar(&o.queueDepth, "admit-queue", 0, "waiting-request cap per compute route (0 = 8x concurrency)")
+	flag.DurationVar(&o.budget, "budget", 0, "default per-request deadline budget when the client sends no X-Budget-Ms (0 = 5s)")
+	flag.DurationVar(&o.maxBudget, "max-budget", 0, "cap on client-supplied budgets (0 = 30s)")
+	flag.IntVar(&o.cacheSize, "cache", 0, "coalescing schedule cache size in responses (0 = 4096, negative disables)")
+	flag.Float64Var(&o.chaosRate, "chaos-rate", 0, "serve-layer chaos: fraction of requests faulted in [0,1] (0 disables)")
+	flag.Int64Var(&o.chaosSeed, "chaos-seed", 1, "serve-layer chaos plan seed (same seed, same storm)")
+	flag.StringVar(&o.chaosKinds, "chaos-kinds", "", "serve-layer chaos kinds, comma-separated: latency,error,panic (default latency)")
+	flag.DurationVar(&o.chaosMaxDelay, "chaos-max-delay", 50*time.Millisecond, "serve-layer chaos: injected handler latency upper bound")
 	flag.Parse()
-	if err := run(*addr, *addrFile, *cores, *workers, *ring, *logFmt, *grace); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "sdemd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, addrFile string, cores, workers, ring int, logFmt string, grace time.Duration) error {
+func run(o options) error {
 	var handler slog.Handler
-	switch logFmt {
+	switch o.logFmt {
 	case "text":
 		handler = slog.NewTextHandler(os.Stderr, nil)
 	case "json":
 		handler = slog.NewJSONHandler(os.Stderr, nil)
 	default:
-		return fmt.Errorf("unknown -log format %q (want text or json)", logFmt)
+		return fmt.Errorf("unknown -log format %q (want text or json)", o.logFmt)
 	}
 	logger := slog.New(handler)
 
-	cfg := serve.Config{Workers: workers, RingSize: ring, Logger: logger}
-	cfg.System = defaultSystem(cores)
+	cfg := serve.Config{
+		Workers:       o.workers,
+		RingSize:      o.ring,
+		Logger:        logger,
+		Concurrency:   o.concurrency,
+		QueueDepth:    o.queueDepth,
+		DefaultBudget: o.budget,
+		MaxBudget:     o.maxBudget,
+		CacheSize:     o.cacheSize,
+	}
+	cfg.System = defaultSystem(o.cores)
+	if o.chaosRate > 0 {
+		kinds, err := faults.ParseServeKinds(o.chaosKinds)
+		if err != nil {
+			return err
+		}
+		plan := faults.NewServePlan(faults.ServeConfig{
+			Rate:     o.chaosRate,
+			Kinds:    kinds,
+			MaxDelay: o.chaosMaxDelay.Seconds(),
+		}, o.chaosSeed)
+		cfg.Chaos = &plan
+		logger.Info("chaos enabled", "rate", o.chaosRate, "seed", o.chaosSeed,
+			"kinds", o.chaosKinds, "max_delay", o.chaosMaxDelay.String())
+	}
 	s := serve.New(cfg)
 
-	l, err := net.Listen("tcp", addr)
+	l, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
 	bound := l.Addr().String()
-	if addrFile != "" {
-		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
+	if o.addrFile != "" {
+		if err := os.WriteFile(o.addrFile, []byte(bound+"\n"), 0o644); err != nil {
 			l.Close()
 			return err
 		}
 	}
+	workers := o.workers
 	if workers <= 0 {
 		workers = parallel.DefaultWorkers()
 	}
-	logger.Info("listening", "addr", bound, "cores", cores, "workers", workers, "ring", ring)
+	logger.Info("listening", "addr", bound, "cores", o.cores, "workers", workers, "ring", o.ring)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return serve.Run(ctx, l, s, grace)
+	return serve.Run(ctx, l, s, o.grace)
 }

@@ -1,0 +1,516 @@
+// Command sdemload drives an sdemd instance with synthetic solve /
+// simulate / execute traffic and reports what the service did under
+// pressure: latency quantiles of admitted requests, throughput, the
+// shed rate, and the 5xx count. It is the measurement half of the
+// overload story — sdemd owns admission control, load shedding and the
+// coalescing schedule cache; sdemload produces calibrated load and
+// checks the contract held.
+//
+// Two load shapes:
+//
+//	-concurrency 16              closed loop: 16 workers, each issuing
+//	                             the next request when the last returns
+//	-rate 200                    open loop: 200 req/s regardless of
+//	                             completions (the shape that overloads)
+//
+// The task-set mix is seeded and replayable: -hot is the fraction of
+// requests drawn from a small pool of -hot-sets identical task sets
+// (these should hit the schedule cache), the rest are unique per
+// request (these must miss). 429 responses are retried with
+// exponential backoff, deterministic jitter, and the server's
+// Retry-After hint; retries never count against the latency quantiles,
+// which measure admitted work only.
+//
+// -slow N adds N pathological clients that dribble a request body one
+// byte at a time — they exist to verify the server's read timeouts cut
+// them off instead of letting them pin connections.
+//
+// Exit status is the CI contract: nonzero when -require-shed saw no
+// shedding, when 5xx responses exceed -max-5xx, or when nothing
+// succeeded at all. -out writes the full JSON report for trending.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdem/internal/stats"
+	"sdem/internal/task"
+	"sdem/internal/workload"
+)
+
+type options struct {
+	addr        string
+	op          string
+	scheduler   string
+	duration    time.Duration
+	requests    int64
+	concurrency int
+	rate        float64
+	tasks       int
+	seed        int64
+	hot         float64
+	hotSets     int
+	budgetMs    int64
+	retries     int
+	backoff     time.Duration
+	slow        int
+	out         string
+	requireShed bool
+	max5xx      int64
+}
+
+// report is the JSON document -out writes and the summary the process
+// prints; BENCH trajectories and CI gates read these fields.
+type report struct {
+	Op          string  `json:"op"`
+	Mode        string  `json:"mode"`
+	Concurrency int     `json:"concurrency,omitempty"`
+	RatePerSec  float64 `json:"rate_per_sec,omitempty"`
+	DurationS   float64 `json:"duration_s"`
+	Requests    int64   `json:"requests"`
+	OK          int64   `json:"ok"`
+	Shed        int64   `json:"shed"`
+	Retries     int64   `json:"retries"`
+	Errors4xx   int64   `json:"errors_4xx"`
+	Errors5xx   int64   `json:"errors_5xx"`
+	Transport   int64   `json:"transport_errors"`
+	ShedRate    float64 `json:"shed_rate"`
+	Throughput  float64 `json:"throughput_rps"`
+	LatencyP50  float64 `json:"latency_p50_ms"`
+	LatencyP90  float64 `json:"latency_p90_ms"`
+	LatencyP99  float64 `json:"latency_p99_ms"`
+	LatencyMax  float64 `json:"latency_max_ms"`
+	SlowClients int     `json:"slow_clients,omitempty"`
+	SlowCutoffs int64   `json:"slow_cutoffs,omitempty"`
+}
+
+// counters aggregates outcomes across workers; latencies (ms) are the
+// per-attempt wall times of 2xx responses only.
+type counters struct {
+	mu        sync.Mutex
+	latencies []float64
+
+	requests  atomic.Int64 // logical requests issued (retries excluded)
+	ok        atomic.Int64
+	shed      atomic.Int64 // 429s observed, including retried ones
+	retries   atomic.Int64
+	err4xx    atomic.Int64
+	err5xx    atomic.Int64
+	transport atomic.Int64
+}
+
+func (c *counters) observe(ms float64) {
+	c.mu.Lock()
+	c.latencies = append(c.latencies, ms)
+	c.mu.Unlock()
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8080", "sdemd address (host:port)")
+	flag.StringVar(&o.op, "op", "solve", "operation: solve|simulate|execute")
+	flag.StringVar(&o.scheduler, "scheduler", "", "scheduler field of the request (default: endpoint default)")
+	flag.DurationVar(&o.duration, "duration", 10*time.Second, "how long to generate load")
+	flag.Int64Var(&o.requests, "requests", 0, "stop after this many logical requests (0 = until -duration)")
+	flag.IntVar(&o.concurrency, "concurrency", 8, "closed-loop worker count (ignored when -rate > 0)")
+	flag.Float64Var(&o.rate, "rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
+	flag.IntVar(&o.tasks, "tasks", 12, "tasks per generated set")
+	flag.Int64Var(&o.seed, "seed", 1, "master seed: task sets, mix and jitter all derive from it")
+	flag.Float64Var(&o.hot, "hot", 0.5, "fraction of requests drawn from the hot task-set pool in [0,1]")
+	flag.IntVar(&o.hotSets, "hot-sets", 4, "distinct task sets in the hot pool")
+	flag.Int64Var(&o.budgetMs, "budget-ms", 0, "X-Budget-Ms deadline budget sent with every request (0 = server default)")
+	flag.IntVar(&o.retries, "retries", 3, "max retries after a 429 (0 disables)")
+	flag.DurationVar(&o.backoff, "backoff", 25*time.Millisecond, "base retry backoff (doubles per attempt, jittered, Retry-After wins)")
+	flag.IntVar(&o.slow, "slow", 0, "pathological clients dribbling request bytes to probe read timeouts")
+	flag.StringVar(&o.out, "out", "", "write the JSON report here")
+	flag.BoolVar(&o.requireShed, "require-shed", false, "exit nonzero unless the server shed at least one request")
+	flag.Int64Var(&o.max5xx, "max-5xx", 0, "exit nonzero when 5xx responses exceed this count")
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "sdemload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options) error {
+	path, err := opPath(o.op)
+	if err != nil {
+		return err
+	}
+	if o.hot < 0 || o.hot > 1 {
+		return fmt.Errorf("-hot %v outside [0,1]", o.hot)
+	}
+	if o.hotSets <= 0 {
+		o.hotSets = 1
+	}
+	hot, err := hotBodies(o)
+	if err != nil {
+		return err
+	}
+	url := "http://" + o.addr + path
+	client := &http.Client{
+		Timeout: o.duration + 30*time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        4 * o.concurrency,
+			MaxIdleConnsPerHost: 4 * o.concurrency,
+		},
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.duration)
+	defer cancel()
+
+	var c counters
+	var slowCutoffs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < o.slow; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			slowReader(ctx, o.addr, path, &slowCutoffs)
+		}(i)
+	}
+
+	var ordinal atomic.Int64
+	next := func() (int64, bool) {
+		n := ordinal.Add(1)
+		if o.requests > 0 && n > o.requests {
+			return 0, false
+		}
+		return n, ctx.Err() == nil
+	}
+
+	//lint:allow telemetrycheck: load generation is a wall-clock activity by definition — sdemload measures a live server, it never touches schedule math
+	start := time.Now()
+	if o.rate > 0 {
+		interval := time.Duration(float64(time.Second) / o.rate)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+	open:
+		for {
+			select {
+			case <-ctx.Done():
+				break open
+			case <-ticker.C:
+				n, ok := next()
+				if !ok {
+					break open
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					issue(ctx, client, url, hot, o, n, &c)
+				}()
+			}
+		}
+	} else {
+		for i := 0; i < o.concurrency; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					n, ok := next()
+					if !ok {
+						return
+					}
+					issue(ctx, client, url, hot, o, n, &c)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	//lint:allow telemetrycheck: closes the wall-clock measurement opened at start
+	elapsed := time.Since(start)
+
+	rep := summarize(o, &c, elapsed, slowCutoffs.Load())
+	if o.out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	printReport(rep)
+
+	if rep.OK == 0 {
+		return fmt.Errorf("no request succeeded (%d issued, %d shed, %d 5xx, %d transport errors)",
+			rep.Requests, rep.Shed, rep.Errors5xx, rep.Transport)
+	}
+	if o.requireShed && rep.Shed == 0 {
+		return fmt.Errorf("-require-shed: the server never shed; overload was not reached")
+	}
+	if rep.Errors5xx > o.max5xx {
+		return fmt.Errorf("-max-5xx: %d server errors exceed the budget of %d", rep.Errors5xx, o.max5xx)
+	}
+	return nil
+}
+
+func opPath(op string) (string, error) {
+	switch op {
+	case "solve", "simulate", "execute":
+		return "/v1/" + op, nil
+	default:
+		return "", fmt.Errorf("unknown -op %q (want solve, simulate or execute)", op)
+	}
+}
+
+// hotBodies pre-marshals the hot task-set pool. Hot requests replay
+// these bodies byte-for-byte, which is exactly what the server's
+// schedule cache coalesces on.
+func hotBodies(o options) ([][]byte, error) {
+	bodies := make([][]byte, o.hotSets)
+	for i := range bodies {
+		b, err := body(o, stats.DeriveSeed(o.seed, 0x407, uint64(i)))
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	return bodies, nil
+}
+
+// body marshals one request envelope around a synthetic task set drawn
+// from the given seed.
+func body(o options, seed int64) ([]byte, error) {
+	tasks, err := workload.Synthetic(workload.SyntheticConfig{N: o.tasks}, seed)
+	if err != nil {
+		return nil, err
+	}
+	req := struct {
+		Tasks     task.Set `json:"tasks"`
+		Scheduler string   `json:"scheduler,omitempty"`
+	}{Tasks: tasks, Scheduler: o.scheduler}
+	return json.Marshal(req)
+}
+
+// issue runs one logical request: pick hot or cold body by the seeded
+// mix, send, and retry 429s with backoff until the budget of attempts
+// is spent. Counts go to c; only 2xx attempt latencies enter the
+// quantile set.
+func issue(ctx context.Context, client *http.Client, url string, hot [][]byte, o options, n int64, c *counters) {
+	c.requests.Add(1)
+	var payload []byte
+	if unit(o.seed, 0x1a1d, uint64(n)) < o.hot {
+		payload = hot[int(unit(o.seed, 0x5e7, uint64(n))*float64(len(hot)))%len(hot)]
+	} else {
+		b, err := body(o, stats.DeriveSeed(o.seed, 0xc01d, uint64(n)))
+		if err != nil {
+			c.transport.Add(1)
+			return
+		}
+		payload = b
+	}
+
+	for attempt := 0; ; attempt++ {
+		code, retryAfter, ms, err := attemptOnce(ctx, client, url, payload, o.budgetMs)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return // the run ended mid-request; not the server's fault
+			}
+			c.transport.Add(1)
+			return
+		case code >= 200 && code < 300:
+			c.ok.Add(1)
+			c.observe(ms)
+			return
+		case code == http.StatusTooManyRequests:
+			c.shed.Add(1)
+			if attempt >= o.retries {
+				return
+			}
+			c.retries.Add(1)
+			if !sleepCtx(ctx, backoffDelay(o, n, attempt, retryAfter)) {
+				return
+			}
+		case code >= 500:
+			c.err5xx.Add(1)
+			return
+		default:
+			c.err4xx.Add(1)
+			return
+		}
+	}
+}
+
+// attemptOnce sends one HTTP attempt and returns its status code, the
+// parsed Retry-After hint (seconds, 0 if absent) and the wall latency
+// in milliseconds.
+func attemptOnce(ctx context.Context, client *http.Client, url string, payload []byte, budgetMs int64) (code, retryAfter int, ms float64, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if budgetMs > 0 {
+		req.Header.Set("X-Budget-Ms", strconv.FormatInt(budgetMs, 10))
+	}
+	//lint:allow telemetrycheck: client-observed request latency is the quantity under measurement
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	//lint:allow telemetrycheck: closes the per-attempt latency measurement
+	ms = float64(time.Since(t0).Nanoseconds()) / 1e6
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if s, perr := strconv.Atoi(v); perr == nil && s > 0 {
+			retryAfter = s
+		}
+	}
+	return resp.StatusCode, retryAfter, ms, nil
+}
+
+// backoffDelay picks the wait before retry `attempt` of request n:
+// exponential from the base with deterministic jitter in [0.5, 1.5),
+// but the server's Retry-After hint wins when it is longer, capped at
+// 2s so a pessimistic hint cannot stall the whole run.
+func backoffDelay(o options, n int64, attempt, retryAfter int) time.Duration {
+	d := o.backoff << uint(attempt)
+	jitter := 0.5 + unit(o.seed, 0xbac0ff, uint64(n), uint64(attempt))
+	d = time.Duration(float64(d) * jitter)
+	if ra := time.Duration(retryAfter) * time.Second; ra > d {
+		d = ra
+	}
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// slowReader is the pathological client: it opens a connection,
+// announces a large body, then dribbles one byte per 50 ms. A healthy
+// server cuts it off via read timeouts; every cutoff increments drops.
+func slowReader(ctx context.Context, addr, path string, drops *atomic.Int64) {
+	for ctx.Err() == nil {
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			if !sleepCtx(ctx, 200*time.Millisecond) {
+				return
+			}
+			continue
+		}
+		header := "POST " + path + " HTTP/1.1\r\nHost: " + addr +
+			"\r\nContent-Type: application/json\r\nContent-Length: 1000000\r\n\r\n"
+		if _, err := conn.Write([]byte(header)); err != nil {
+			conn.Close()
+			continue
+		}
+		for ctx.Err() == nil {
+			if _, err := conn.Write([]byte("{")); err != nil {
+				drops.Add(1) // the server hung up on us — timeouts work
+				break
+			}
+			if !sleepCtx(ctx, 50*time.Millisecond) {
+				break
+			}
+		}
+		conn.Close()
+	}
+}
+
+func summarize(o options, c *counters, elapsed time.Duration, slowCutoffs int64) report {
+	c.mu.Lock()
+	lat := append([]float64(nil), c.latencies...)
+	c.mu.Unlock()
+	sort.Float64s(lat)
+	mode, conc, rate := "closed", o.concurrency, 0.0
+	if o.rate > 0 {
+		mode, conc, rate = "open", 0, o.rate
+	}
+	requests := c.requests.Load()
+	shed := c.shed.Load()
+	rep := report{
+		Op:          o.op,
+		Mode:        mode,
+		Concurrency: conc,
+		RatePerSec:  rate,
+		DurationS:   elapsed.Seconds(),
+		Requests:    requests,
+		OK:          c.ok.Load(),
+		Shed:        shed,
+		Retries:     c.retries.Load(),
+		Errors4xx:   c.err4xx.Load(),
+		Errors5xx:   c.err5xx.Load(),
+		Transport:   c.transport.Load(),
+		LatencyP50:  quantile(lat, 0.50),
+		LatencyP90:  quantile(lat, 0.90),
+		LatencyP99:  quantile(lat, 0.99),
+		SlowClients: o.slow,
+		SlowCutoffs: slowCutoffs,
+	}
+	if len(lat) > 0 {
+		rep.LatencyMax = lat[len(lat)-1]
+	}
+	if requests > 0 {
+		rep.ShedRate = float64(shed) / float64(requests)
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.OK) / elapsed.Seconds()
+	}
+	return rep
+}
+
+// quantile reads the q-quantile from sorted xs (nearest-rank).
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(xs)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
+	return xs[i]
+}
+
+func printReport(r report) {
+	fmt.Printf("sdemload %s (%s): %d requests in %.1fs — %d ok (%.1f req/s), %d shed (%.1f%%), %d retries, %d 4xx, %d 5xx, %d transport\n",
+		r.Op, r.Mode, r.Requests, r.DurationS, r.OK, r.Throughput, r.Shed, 100*r.ShedRate,
+		r.Retries, r.Errors4xx, r.Errors5xx, r.Transport)
+	fmt.Printf("latency ms of admitted requests: p50=%.1f p90=%.1f p99=%.1f max=%.1f\n",
+		r.LatencyP50, r.LatencyP90, r.LatencyP99, r.LatencyMax)
+	if r.SlowClients > 0 {
+		fmt.Printf("slow readers: %d clients, %d server cutoffs\n", r.SlowClients, r.SlowCutoffs)
+	}
+}
+
+// unit maps (seed, dims...) onto [0, 1) deterministically — the same
+// SplitMix64 derivation the fault planner uses, so the request mix and
+// the retry jitter replay exactly under a fixed -seed.
+func unit(seed int64, dims ...uint64) float64 {
+	return float64(uint64(stats.DeriveSeed(seed, dims...))>>11) / (1 << 53)
+}

@@ -24,6 +24,7 @@
 package agreeable
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -90,6 +91,9 @@ type solver struct {
 	// semantics of §7).
 	stretched []bool
 	tel       *telemetry.Recorder
+	// ctx, when non-nil, is polled at DP row boundaries so a caller's
+	// deadline budget can abandon an expensive solve cooperatively.
+	ctx context.Context
 }
 
 func newSolver(tasks task.Set, sys power.System, m mode) (*solver, error) {
@@ -247,6 +251,12 @@ func (s *solver) dp(blockExtra float64) []Block {
 	opt := make([]float64, n+1)
 	choice := make([]int, n+1)
 	for q := 1; q <= n; q++ {
+		// Cooperative cancellation checkpoint: one poll per DP row keeps
+		// the overhead off the O(n²) cell loop while bounding the work
+		// after cancellation to a single row of cheap memo lookups.
+		if s.ctx != nil && s.ctx.Err() != nil {
+			return nil // solve surfaces the context error
+		}
 		opt[q] = math.Inf(1)
 		for p := 0; p < q; p++ {
 			s.tel.Count("sdem.solver.agr.dp_cells", 1)
@@ -294,6 +304,11 @@ func (s *solver) buildSchedule(blocks []Block) *schedule.Schedule {
 
 func (s *solver) solve(scheme string, blockExtra float64) (*Solution, error) {
 	blocks := s.dp(blockExtra)
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			return nil, fmt.Errorf("agreeable: solve cancelled: %w", err)
+		}
+	}
 	sched := s.buildSchedule(blocks)
 	energy := schedule.Audit(sched, s.sys).Total()
 	if s.mode == modeOverhead {
@@ -408,14 +423,34 @@ func Solve(tasks task.Set, sys power.System) (*Solution, error) {
 // SolveTel is Solve with telemetry attached; a nil recorder is the
 // uninstrumented path.
 func SolveTel(tasks task.Set, sys power.System, tel *telemetry.Recorder) (*Solution, error) {
+	return SolveCtx(nil, tasks, sys, tel)
+}
+
+// SolveCtx is SolveTel with a cooperative-cancellation context: the DP
+// polls ctx at row boundaries and abandons the solve with ctx's error
+// once it is done. A nil ctx never cancels — SolveTel delegates here
+// with one.
+func SolveCtx(ctx context.Context, tasks task.Set, sys power.System, tel *telemetry.Recorder) (*Solution, error) {
+	var (
+		m      mode
+		scheme string
+		extra  float64
+	)
 	switch {
 	case sys.Core.BreakEven > 0 || sys.Memory.BreakEven > 0:
-		return SolveWithOverheadTel(tasks, sys, tel)
+		m, scheme, extra = modeOverhead, "overhead", sys.Memory.TransitionEnergy()
 	case sys.Core.Static > 0:
-		return SolveWithStaticTel(tasks, sys, tel)
+		m, scheme = modeStatic, "static"
 	default:
-		return SolveAlphaZeroTel(tasks, sys, tel)
+		m, scheme = modeAlphaZero, "alpha_zero"
 	}
+	s, err := newSolver(tasks, sys, m)
+	if err != nil {
+		return nil, err
+	}
+	s.tel = tel
+	s.ctx = ctx
+	return s.solve(scheme, extra)
 }
 
 // TaskType is the §5.2 classification of Table 2.

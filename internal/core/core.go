@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"sdem/internal/agreeable"
@@ -75,7 +76,21 @@ func Solve(tasks task.Set, sys power.System) (*Solution, error) {
 
 // SolveTel is Solve with telemetry attached; a nil recorder is the
 // uninstrumented path.
-func SolveTel(tasks task.Set, sys power.System, tel *telemetry.Recorder) (*Solution, error) { //lint:allow auditcheck: wraps sub-solver solutions whose schedules are normalized by the callee
+func SolveTel(tasks task.Set, sys power.System, tel *telemetry.Recorder) (*Solution, error) {
+	return SolveCtx(nil, tasks, sys, tel)
+}
+
+// SolveCtx is SolveTel with a cooperative-cancellation context threaded
+// into the sub-solvers: the agreeable DP polls it at row boundaries, the
+// §4 schemes are O(n) and covered by the entry check. A nil ctx never
+// cancels. A cancelled solve returns an error wrapping ctx's error
+// (context.DeadlineExceeded / context.Canceled).
+func SolveCtx(ctx context.Context, tasks task.Set, sys power.System, tel *telemetry.Recorder) (*Solution, error) { //lint:allow auditcheck: wraps sub-solver solutions whose schedules are normalized by the callee
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	model := tasks.Classify()
 	switch model {
 	case task.ModelEmpty, task.ModelCommonDeadline, task.ModelCommonRelease:
@@ -90,7 +105,7 @@ func SolveTel(tasks task.Set, sys power.System, tel *telemetry.Recorder) (*Solut
 			Scheme:   schemeName(model, sys),
 		}, nil
 	case task.ModelAgreeable:
-		sol, err := agreeable.SolveTel(tasks, sys, tel)
+		sol, err := agreeable.SolveCtx(ctx, tasks, sys, tel)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,111 @@
+// Canonical request fingerprints for the serve layer's schedule cache.
+//
+// Two compute requests that ask the same question — same task multiset,
+// same platform, same scheme — must map to the same cache key even when
+// their JSON spells the tasks in a different order. CanonicalKey
+// therefore normalizes the task order before encoding, and encodes every
+// float through its IEEE-754 bit pattern so the key is exact: no
+// formatting, no rounding, no locale. The key doubles as the cache map
+// key; Fingerprint hashes it (FNV-1a) for shard selection.
+package encode
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"sdem/internal/power"
+	"sdem/internal/task"
+)
+
+// CanonicalKey builds the exact canonical fingerprint material of a
+// compute request: the operation ("solve", "simulate"), the scheduler
+// name, the include-schedule flag, every field of the platform model,
+// and the task set normalized into (Release, Deadline, ID, Workload,
+// Name) order. The result is binary (not printable); treat it as an
+// opaque map key.
+func CanonicalKey(op, scheduler string, includeSchedule bool, tasks task.Set, sys power.System) string {
+	sorted := make(task.Set, len(tasks))
+	copy(sorted, tasks)
+	sort.Slice(sorted, func(a, b int) bool {
+		x, y := sorted[a], sorted[b]
+		//lint:allow floatcmp: canonical ordering must be exact — two keys are equal iff every bit agrees, so the comparator may not tolerate
+		if x.Release != y.Release {
+			return x.Release < y.Release
+		}
+		//lint:allow floatcmp: see above
+		if x.Deadline != y.Deadline {
+			return x.Deadline < y.Deadline
+		}
+		if x.ID != y.ID {
+			return x.ID < y.ID
+		}
+		//lint:allow floatcmp: see above
+		if x.Workload != y.Workload {
+			return x.Workload < y.Workload
+		}
+		return x.Name < y.Name
+	})
+
+	// 3 strings, 1 flag byte, 9 system floats + core count, and 4 floats
+	// + ID + name per task.
+	b := make([]byte, 0, 64+len(op)+len(scheduler)+len(sorted)*48)
+	b = appendString(b, op)
+	b = appendString(b, scheduler)
+	if includeSchedule {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendFloat(b, sys.Core.Static)
+	b = appendFloat(b, sys.Core.Beta)
+	b = appendFloat(b, sys.Core.Lambda)
+	b = appendFloat(b, sys.Core.SpeedMax)
+	b = appendFloat(b, sys.Core.SpeedMin)
+	b = appendFloat(b, sys.Core.BreakEven)
+	b = appendFloat(b, sys.Core.SwitchEnergy)
+	b = appendFloat(b, sys.Memory.Static)
+	b = appendFloat(b, sys.Memory.BreakEven)
+	b = binary.BigEndian.AppendUint64(b, uint64(int64(sys.Cores)))
+	b = binary.BigEndian.AppendUint64(b, uint64(len(sorted)))
+	for _, t := range sorted {
+		b = binary.BigEndian.AppendUint64(b, uint64(int64(t.ID)))
+		b = appendFloat(b, t.Release)
+		b = appendFloat(b, t.Deadline)
+		b = appendFloat(b, t.Workload)
+		b = appendString(b, t.Name)
+	}
+	return string(b)
+}
+
+// appendString appends a length-prefixed string so concatenated fields
+// can never alias each other ("ab"+"c" vs "a"+"bc").
+func appendString(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint64(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendFloat appends the exact IEEE-754 bit pattern. NaN payloads and
+// signed zeros are distinguished on purpose: the cache must never treat
+// two requests as identical unless the solver would see identical bits.
+func appendFloat(b []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Fingerprint hashes a canonical key with FNV-1a 64. It is stable across
+// processes and releases (pure arithmetic, no seed), so fingerprints may
+// be logged and compared across runs.
+func Fingerprint(key string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return h
+}

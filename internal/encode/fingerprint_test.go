@@ -1,0 +1,92 @@
+package encode
+
+import (
+	"testing"
+
+	"sdem/internal/power"
+	"sdem/internal/task"
+)
+
+func fpTasks() task.Set {
+	return task.Set{
+		{ID: 0, Release: 0, Deadline: 0.05, Workload: 2e6, Name: "a"},
+		{ID: 1, Release: 0.01, Deadline: 0.08, Workload: 3e6, Name: "b"},
+		{ID: 2, Release: 0.02, Deadline: 0.12, Workload: 1e6},
+	}
+}
+
+func TestCanonicalKeyPermutationInvariant(t *testing.T) {
+	sys := power.DefaultSystem()
+	ts := fpTasks()
+	perm := task.Set{ts[2], ts[0], ts[1]}
+	k1 := CanonicalKey("solve", "auto", false, ts, sys)
+	k2 := CanonicalKey("solve", "auto", false, perm, sys)
+	if k1 != k2 {
+		t.Fatalf("task order changed the canonical key")
+	}
+	if Fingerprint(k1) != Fingerprint(k2) {
+		t.Fatalf("task order changed the fingerprint")
+	}
+}
+
+func TestCanonicalKeyFieldSensitivity(t *testing.T) {
+	sys := power.DefaultSystem()
+	ts := fpTasks()
+	base := CanonicalKey("solve", "auto", false, ts, sys)
+
+	cases := map[string]string{
+		"op":               CanonicalKey("simulate", "auto", false, ts, sys),
+		"scheduler":        CanonicalKey("solve", "sdem-on", false, ts, sys),
+		"include_schedule": CanonicalKey("solve", "auto", true, ts, sys),
+	}
+	bumped := fpTasks()
+	bumped[1].Workload++
+	cases["workload"] = CanonicalKey("solve", "auto", false, bumped, sys)
+	named := fpTasks()
+	named[2].Name = "c"
+	cases["name"] = CanonicalKey("solve", "auto", false, named, sys)
+	sys2 := sys
+	sys2.Cores++
+	cases["cores"] = CanonicalKey("solve", "auto", false, ts, sys2)
+	sys3 := sys
+	sys3.Memory.BreakEven += 1e-9
+	cases["break_even"] = CanonicalKey("solve", "auto", false, ts, sys3)
+
+	for field, key := range cases {
+		if key == base {
+			t.Errorf("changing %s did not change the canonical key", field)
+		}
+	}
+}
+
+func TestCanonicalKeyStringFieldsCannotAlias(t *testing.T) {
+	sys := power.DefaultSystem()
+	k1 := CanonicalKey("so", "lve", false, nil, sys)
+	k2 := CanonicalKey("solv", "e", false, nil, sys)
+	if k1 == k2 {
+		t.Fatalf("length-prefixed string fields aliased")
+	}
+}
+
+func TestFingerprintSpreadsShards(t *testing.T) {
+	// 64 single-task variants must not collapse onto a few of 16 shards.
+	sys := power.DefaultSystem()
+	shards := make(map[uint64]int)
+	for i := 0; i < 64; i++ {
+		ts := task.Set{{ID: i, Deadline: 0.05, Workload: float64(1e6 + i)}}
+		k := CanonicalKey("solve", "auto", false, ts, sys)
+		shards[Fingerprint(k)%16]++
+	}
+	if len(shards) < 8 {
+		t.Fatalf("64 fingerprints landed on only %d of 16 shards", len(shards))
+	}
+}
+
+func BenchmarkCanonicalKey(b *testing.B) {
+	sys := power.DefaultSystem()
+	ts := fpTasks()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Fingerprint(CanonicalKey("solve", "auto", false, ts, sys))
+	}
+}

@@ -68,3 +68,35 @@ func globalRandToEmitter() {
 func allowedWallClock() {
 	fmt.Println(time.Now()) //lint:allow detcheck: fixture checks suppression
 }
+
+// cacheEvictLogged mirrors a cache shard that picks its eviction victim
+// by map order and logs it: the victim choice is nondeterministic.
+func cacheEvictLogged(entries map[string]int) {
+	for k := range entries { // want "map iteration order reaches an output sink: loop body calls fmt.Println"
+		fmt.Println("evict", k)
+		delete(entries, k)
+		return
+	}
+}
+
+// cacheEvictFIFO drains in insertion order instead — the serving
+// layer's schedule-cache discipline: deterministic, clean.
+func cacheEvictFIFO(entries map[string]int, order []string) []string {
+	victim := order[0]
+	delete(entries, victim)
+	fmt.Println("evict", victim)
+	return order[1:]
+}
+
+// gateRelease mirrors the admission gate: the service-time sample comes
+// in as data (the caller owns the clock read), so folding it into the
+// EWMA and reporting it is clean.
+func gateRelease(ewma *int64, sampleNs int64) {
+	*ewma += (sampleNs - *ewma) / 8
+	detaux.Dump(int(*ewma))
+}
+
+// gateReleaseClocked reads the clock itself and leaks it: flagged.
+func gateReleaseClocked(start time.Time) {
+	detaux.Dump(int(time.Since(start))) // want "nondeterministic value from time.Since reaches output sink Dump"
+}

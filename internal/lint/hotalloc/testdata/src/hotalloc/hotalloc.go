@@ -63,3 +63,34 @@ func Cold(xs []int) []int {
 func Trampoline(v int) {
 	warm(v)
 }
+
+// AdmitHot mirrors the admission gate's fast path: channel operations
+// on a pre-made slots channel and arithmetic on the EWMA allocate
+// nothing, so the whole function stays clean.
+//
+//sdem:hotpath
+func AdmitHot(slots chan struct{}, ewma *int64, budgetNs int64) bool {
+	if *ewma > budgetNs {
+		return false
+	}
+	select {
+	case slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// CacheInsertHot mirrors a naive cache-shard insert: a fresh ready
+// channel per call and unbounded growth of the eviction queue are
+// exactly the allocations to keep off a per-request fast path.
+//
+//sdem:hotpath
+func CacheInsertHot(entries map[string]chan struct{}, keys []string) []string {
+	var order []string
+	for _, k := range keys {
+		entries[k] = make(chan struct{}) // want "make\\(chan\\) allocates per call"
+		order = append(order, k)         // want "append grows \"order\" inside a loop without preallocation"
+	}
+	return order
+}

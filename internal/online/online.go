@@ -11,6 +11,7 @@
 package online
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -43,6 +44,12 @@ type Options struct {
 	// Telemetry, when non-nil, records per-plan metrics and trace events
 	// (sdem.solver.online.* plus the pool's sdem.sim.* series).
 	Telemetry *telemetry.Recorder
+	// Ctx, when non-nil, is polled at every arrival boundary: a cancelled
+	// context abandons the run between re-plans with Ctx's error, so a
+	// caller-imposed deadline budget bounds even long simulations. The
+	// poll is allocation-free and does not perturb the virtual-time
+	// result of runs that complete.
+	Ctx context.Context
 }
 
 // plan is one task's share of a common-release solution.
@@ -72,6 +79,13 @@ func Schedule(tasks task.Set, sys power.System, opts Options) (*sim.Result, erro
 	var scratch []plan
 
 	for k, now := range arrivals {
+		// Cooperative cancellation checkpoint, once per arrival: the
+		// per-arrival re-plan below is the expensive unit of work.
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("online: cancelled at arrival %d of %d: %w", k, len(arrivals), err)
+			}
+		}
 		next := math.Inf(1)
 		if k+1 < len(arrivals) {
 			next = arrivals[k+1]

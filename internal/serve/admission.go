@@ -1,0 +1,142 @@
+// Deadline-aware admission control: per-route bounded queues that shed
+// load the instant the service can tell a request will not meet its
+// budget, instead of letting it rot in a queue and time out anyway.
+//
+// Every compute route owns one gate. A gate bounds both concurrency
+// (slots) and queue depth, keeps an EWMA of recent service times, and
+// admits a request only when the estimated queue wait fits inside the
+// request's deadline budget — the serving-layer analogue of the paper's
+// feasibility test: admit work only while its deadline is still
+// reachable, degrade predictably otherwise. Shed responses carry 429 +
+// Retry-After so well-behaved clients (cmd/sdemload) back off instead of
+// retry-storming.
+//
+// The gate itself never reads a clock: service times are fed in by the
+// middleware, whose latency measurement is the module's one sanctioned
+// wall-clock site, and queue waits are bounded by the request's budget
+// context rather than by a second timer.
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Shed reasons, the `reason` label of the sdem.serve.shed counter.
+const (
+	// shedQueueFull: the route's bounded queue was at capacity.
+	shedQueueFull = "queue_full"
+	// shedDeadline: the admission test predicted the queue wait alone
+	// would exceed the request's budget.
+	shedDeadline = "deadline"
+	// shedTimeout: the request was admitted to the queue but its budget
+	// expired before a slot freed up.
+	shedTimeout = "timeout"
+	// shedBudget: the request won a slot but its budget expired
+	// mid-computation; the solver abandoned it at a cancellation
+	// checkpoint. Counted by the middleware, not the gate.
+	shedBudget = "budget"
+)
+
+// gate is one route's admission controller.
+type gate struct {
+	concurrency int
+	depth       int // max waiting requests beyond the executing ones
+	// slots is the execution-permit channel: sending acquires, receiving
+	// releases; capacity = concurrency.
+	slots chan struct{}
+	// admitted counts requests past the door — executing or waiting.
+	admitted atomic.Int64
+	// ewmaNs is the exponentially weighted moving average of recent
+	// service times in nanoseconds (α = 1/8), fed by release.
+	ewmaNs atomic.Int64
+}
+
+func newGate(concurrency, depth int) *gate {
+	return &gate{
+		concurrency: concurrency,
+		depth:       depth,
+		slots:       make(chan struct{}, concurrency),
+	}
+}
+
+// admit decides one request. It returns ok=true once the request holds
+// an execution slot (pair with release), or ok=false with the shed
+// reason and a Retry-After hint in whole seconds. ctx carries the
+// request's deadline as a context (queue waiting is charged against it,
+// so a request never waits longer than it could still afford to
+// compute); budget is the same deadline as a duration, fresh enough at
+// admission time that the gate needs no clock read of its own.
+func (g *gate) admit(ctx context.Context, budget time.Duration) (ok bool, reason string, retryAfter int) {
+	n := g.admitted.Add(1)
+	if n > int64(g.concurrency+g.depth) {
+		g.admitted.Add(-1)
+		return false, shedQueueFull, g.retryAfterSeconds()
+	}
+
+	// Deadline-aware admission test: requests ahead of this one that must
+	// drain before a slot frees, times the EWMA service time, spread over
+	// the slot width. An optimistic estimate — queued work may finish
+	// early — so it sheds only what is already hopeless.
+	if wait := g.estimatedWait(n); wait > budget {
+		g.admitted.Add(-1)
+		return false, shedDeadline, secondsCeil(wait)
+	}
+
+	select {
+	case g.slots <- struct{}{}: // free slot, no waiting
+		return true, "", 0
+	default:
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return true, "", 0
+	case <-ctx.Done():
+		g.admitted.Add(-1)
+		return false, shedTimeout, g.retryAfterSeconds()
+	}
+}
+
+// release frees the slot admit acquired and folds the request's observed
+// service time into the EWMA.
+func (g *gate) release(serviceTime time.Duration) {
+	<-g.slots
+	g.admitted.Add(-1)
+	sample := serviceTime.Nanoseconds()
+	for {
+		old := g.ewmaNs.Load()
+		next := old + (sample-old)/8
+		if old == 0 {
+			next = sample // first observation seeds the average
+		}
+		if g.ewmaNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// estimatedWait predicts how long the n-th admitted request (this one)
+// will wait for a slot.
+func (g *gate) estimatedWait(n int64) time.Duration {
+	ahead := n - int64(g.concurrency)
+	if ahead <= 0 {
+		return 0
+	}
+	return time.Duration(ahead * g.ewmaNs.Load() / int64(g.concurrency))
+}
+
+// retryAfterSeconds estimates when retrying is worthwhile: the time for
+// the current backlog to drain, at least one second (the header's
+// resolution floor).
+func (g *gate) retryAfterSeconds() int {
+	return secondsCeil(time.Duration(g.admitted.Load() * g.ewmaNs.Load() / int64(g.concurrency)))
+}
+
+func secondsCeil(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

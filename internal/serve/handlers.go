@@ -13,6 +13,7 @@ import (
 
 	"sdem/internal/baseline"
 	"sdem/internal/core"
+	"sdem/internal/encode"
 	"sdem/internal/faults"
 	"sdem/internal/online"
 	"sdem/internal/parallel"
@@ -113,7 +114,9 @@ func httpError(rc *requestCtx, w http.ResponseWriter, code int, err error) {
 }
 
 // errorCode maps solver errors onto HTTP status codes: model/feasibility
-// errors are the client's (422), everything else is a 500.
+// errors are the client's (422), an expired deadline budget is a
+// mid-flight shed (429 — the request was sound, the fleet ran out of
+// time for it), everything else is a 500.
 func errorCode(err error) int {
 	var general core.ErrGeneralOffline
 	switch {
@@ -122,16 +125,26 @@ func errorCode(err error) int {
 		errors.Is(err, schedule.ErrDeadlineMiss),
 		errors.Is(err, schedule.ErrSpeedCap):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return http.StatusTooManyRequests
 	default:
 		return http.StatusInternalServerError
 	}
 }
 
-// decode parses the JSON request body (bounded by MaxBody) into req.
+// decode parses the JSON request body (bounded by MaxBody) into req. An
+// over-long body is the client's size problem (413), not a parse error.
 func (s *Server) decode(rc *requestCtx, w http.ResponseWriter, r *http.Request, req any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(rc, w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte limit", tooLarge.Limit))
+			return false
+		}
 		httpError(rc, w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return false
 	}
@@ -176,7 +189,7 @@ func (s *Server) handleSolve(rc *requestCtx, w http.ResponseWriter, r *http.Requ
 	if !s.decode(rc, w, r, &req) {
 		return
 	}
-	resp, code, err := s.solveOne(rc.tel, &req, rc.id)
+	resp, code, err := s.solveOne(r.Context(), rc.tel, &req, rc.id)
 	if err != nil {
 		httpError(rc, w, code, err)
 		return
@@ -185,9 +198,34 @@ func (s *Server) handleSolve(rc *requestCtx, w http.ResponseWriter, r *http.Requ
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// cached satisfies a compute request through the coalescing schedule
+// cache when it is enabled: identical canonical requests cost one solve,
+// concurrent identical requests coalesce onto one leader. compute must
+// build the canonical response — Request and TraceURL blank — and the
+// caller stamps its own copy.
+func (s *Server) cached(ctx context.Context, tel *telemetry.Recorder, op, scheduler string, req *TaskRequest, sys power.System, compute func() (*TaskResponse, int, error)) (*TaskResponse, int, error) {
+	if s.cache == nil {
+		return compute()
+	}
+	key := encode.CanonicalKey(op, scheduler, req.IncludeSchedule, req.Tasks, sys)
+	resp, code, err, outcome := s.cache.do(ctx, key, compute)
+	tel.CountL(metricCache, "op="+op+",result="+string(outcome), 1)
+	return resp, code, err
+}
+
+// stamp copies a canonical (cacheable) response and binds it to one
+// request: the two per-request fields are the only bytes that may differ
+// between a cached and a freshly solved response.
+func stamp(resp *TaskResponse, id string) *TaskResponse {
+	out := *resp
+	out.Request = id
+	out.TraceURL = "/debug/trace/" + id
+	return &out
+}
+
 // solveOne runs one offline solve on the given recorder; shared by
 // /v1/solve and /v1/batch.
-func (s *Server) solveOne(tel *telemetry.Recorder, req *TaskRequest, id string) (*TaskResponse, int, error) {
+func (s *Server) solveOne(ctx context.Context, tel *telemetry.Recorder, req *TaskRequest, id string) (*TaskResponse, int, error) {
 	if req.Scheduler != "" && req.Scheduler != "auto" {
 		return nil, http.StatusBadRequest, fmt.Errorf("scheduler %q is not an offline scheme; use /v1/simulate", req.Scheduler)
 	}
@@ -195,25 +233,29 @@ func (s *Server) solveOne(tel *telemetry.Recorder, req *TaskRequest, id string) 
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	sol, err := core.SolveTel(req.Tasks, sys, tel)
+	resp, code, err := s.cached(ctx, tel, "solve", "auto", req, sys, func() (*TaskResponse, int, error) {
+		sol, err := core.SolveCtx(ctx, req.Tasks, sys, tel)
+		if err != nil {
+			return nil, errorCode(err), err
+		}
+		e := sim.ComponentBreakdown(schedule.Audit(sol.Schedule, sys))
+		resp := &TaskResponse{
+			Scheduler:  "auto",
+			Scheme:     sol.Scheme,
+			Model:      sol.Model.String(),
+			N:          len(req.Tasks),
+			EnergyJ:    e.Total(),
+			Components: componentsOf(e),
+		}
+		if req.IncludeSchedule {
+			resp.Schedule = sol.Schedule
+		}
+		return resp, 0, nil
+	})
 	if err != nil {
-		return nil, errorCode(err), err
+		return nil, code, err
 	}
-	e := sim.ComponentBreakdown(schedule.Audit(sol.Schedule, sys))
-	resp := &TaskResponse{
-		Request:    id,
-		Scheduler:  "auto",
-		Scheme:     sol.Scheme,
-		Model:      sol.Model.String(),
-		N:          len(req.Tasks),
-		EnergyJ:    e.Total(),
-		Components: componentsOf(e),
-		TraceURL:   "/debug/trace/" + id,
-	}
-	if req.IncludeSchedule {
-		resp.Schedule = sol.Schedule
-	}
-	return resp, 0, nil
+	return stamp(resp, id), 0, nil
 }
 
 // handleSimulate runs an online policy over the task set.
@@ -222,7 +264,7 @@ func (s *Server) handleSimulate(rc *requestCtx, w http.ResponseWriter, r *http.R
 	if !s.decode(rc, w, r, &req) {
 		return
 	}
-	resp, code, err := s.simulateOne(rc.tel, &req, rc.id)
+	resp, code, err := s.simulateOne(r.Context(), rc.tel, &req, rc.id)
 	if err != nil {
 		httpError(rc, w, code, err)
 		return
@@ -233,7 +275,7 @@ func (s *Server) handleSimulate(rc *requestCtx, w http.ResponseWriter, r *http.R
 
 // simulateOne runs one online policy on the given recorder; shared by
 // /v1/simulate and /v1/batch.
-func (s *Server) simulateOne(tel *telemetry.Recorder, req *TaskRequest, id string) (*TaskResponse, int, error) {
+func (s *Server) simulateOne(ctx context.Context, tel *telemetry.Recorder, req *TaskRequest, id string) (*TaskResponse, int, error) {
 	sys, err := s.system(req)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
@@ -242,40 +284,55 @@ func (s *Server) simulateOne(tel *telemetry.Recorder, req *TaskRequest, id strin
 	if sched == "" {
 		sched = "sdem-on"
 	}
-	cores := sys.Cores
-	var res *sim.Result
 	switch sched {
-	case "sdem-on":
-		res, err = online.Schedule(req.Tasks, sys, online.Options{Cores: cores, Telemetry: tel})
-	case "mbkp":
-		res, err = baseline.MBKPTel(req.Tasks, sys, cores, tel)
-	case "mbkps":
-		res, err = baseline.MBKPSTel(req.Tasks, sys, cores, tel)
-	case "race":
-		res, err = baseline.RaceToIdleTel(req.Tasks, sys, cores, tel)
-	case "critical":
-		res, err = baseline.CriticalSpeedTel(req.Tasks, sys, cores, tel)
+	case "sdem-on", "mbkp", "mbkps", "race", "critical":
 	default:
 		return nil, http.StatusBadRequest, fmt.Errorf("unknown scheduler %q (want sdem-on, mbkp, mbkps, race or critical)", sched)
 	}
+	resp, code, err := s.cached(ctx, tel, "simulate", sched, req, sys, func() (*TaskResponse, int, error) {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, errorCode(err), err
+			}
+		}
+		cores := sys.Cores
+		var (
+			res *sim.Result
+			err error
+		)
+		switch sched {
+		case "sdem-on":
+			res, err = online.Schedule(req.Tasks, sys, online.Options{Cores: cores, Telemetry: tel, Ctx: ctx})
+		case "mbkp":
+			res, err = baseline.MBKPTel(req.Tasks, sys, cores, tel)
+		case "mbkps":
+			res, err = baseline.MBKPSTel(req.Tasks, sys, cores, tel)
+		case "race":
+			res, err = baseline.RaceToIdleTel(req.Tasks, sys, cores, tel)
+		case "critical":
+			res, err = baseline.CriticalSpeedTel(req.Tasks, sys, cores, tel)
+		}
+		if err != nil {
+			return nil, errorCode(err), err
+		}
+		e := res.EnergyBreakdown()
+		resp := &TaskResponse{
+			Scheduler:  sched,
+			Model:      req.Tasks.Classify().String(),
+			N:          len(req.Tasks),
+			EnergyJ:    e.Total(),
+			Components: componentsOf(e),
+			Misses:     res.Misses,
+		}
+		if req.IncludeSchedule {
+			resp.Schedule = res.Schedule
+		}
+		return resp, 0, nil
+	})
 	if err != nil {
-		return nil, errorCode(err), err
+		return nil, code, err
 	}
-	e := res.EnergyBreakdown()
-	resp := &TaskResponse{
-		Request:    id,
-		Scheduler:  sched,
-		Model:      req.Tasks.Classify().String(),
-		N:          len(req.Tasks),
-		EnergyJ:    e.Total(),
-		Components: componentsOf(e),
-		Misses:     res.Misses,
-		TraceURL:   "/debug/trace/" + id,
-	}
-	if req.IncludeSchedule {
-		resp.Schedule = res.Schedule
-	}
-	return resp, 0, nil
+	return stamp(resp, id), 0, nil
 }
 
 // handleExecute plans a schedule, injects a seeded fault plan, and
@@ -297,7 +354,7 @@ func (s *Server) handleExecute(rc *requestCtx, w http.ResponseWriter, r *http.Re
 
 	// Plan: offline optimum when the model has one, SDEM-ON otherwise —
 	// the same dispatch cmd/sdem's auto mode uses.
-	plan, planner, code, err := s.planSchedule(rc.tel, &req, sys)
+	plan, planner, code, err := s.planSchedule(r.Context(), rc.tel, &req, sys)
 	if err != nil {
 		httpError(rc, w, code, err)
 		return
@@ -341,9 +398,11 @@ func (s *Server) handleExecute(rc *requestCtx, w http.ResponseWriter, r *http.Re
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// planSchedule produces the fault-free plan /v1/execute perturbs.
-func (s *Server) planSchedule(tel *telemetry.Recorder, req *TaskRequest, sys power.System) (*schedule.Schedule, string, int, error) {
-	sol, err := core.SolveTel(req.Tasks, sys, tel)
+// planSchedule produces the fault-free plan /v1/execute perturbs. The
+// budget context bounds the planning phase; the perturbed replay itself
+// is bounded by the admission gate's concurrency cap.
+func (s *Server) planSchedule(ctx context.Context, tel *telemetry.Recorder, req *TaskRequest, sys power.System) (*schedule.Schedule, string, int, error) {
+	sol, err := core.SolveCtx(ctx, req.Tasks, sys, tel)
 	if err == nil {
 		return sol.Schedule, "auto", 0, nil
 	}
@@ -351,7 +410,7 @@ func (s *Server) planSchedule(tel *telemetry.Recorder, req *TaskRequest, sys pow
 	if !errors.As(err, &general) {
 		return nil, "", errorCode(err), err
 	}
-	res, err := online.Schedule(req.Tasks, sys, online.Options{Cores: sys.Cores, Telemetry: tel})
+	res, err := online.Schedule(req.Tasks, sys, online.Options{Cores: sys.Cores, Telemetry: tel, Ctx: ctx})
 	if err != nil {
 		return nil, "", errorCode(err), err
 	}
@@ -405,7 +464,7 @@ func (s *Server) handleBatch(rc *requestCtx, w http.ResponseWriter, r *http.Requ
 	for i := range children {
 		children[i] = rc.tel.Child(i)
 	}
-	results, err := parallel.Map(r.Context(), s.cfg.Workers, len(req.Requests), func(_ context.Context, i int) (BatchItemResult, error) {
+	results, err := parallel.Map(r.Context(), s.cfg.Workers, len(req.Requests), func(ctx context.Context, i int) (BatchItemResult, error) {
 		item := &req.Requests[i]
 		id := fmt.Sprintf("%s.%d", rc.id, i)
 		var (
@@ -414,9 +473,9 @@ func (s *Server) handleBatch(rc *requestCtx, w http.ResponseWriter, r *http.Requ
 		)
 		switch item.Op {
 		case "", "solve":
-			resp, _, rerr = s.solveOne(children[i], &item.TaskRequest, id)
+			resp, _, rerr = s.solveOne(ctx, children[i], &item.TaskRequest, id)
 		case "simulate":
-			resp, _, rerr = s.simulateOne(children[i], &item.TaskRequest, id)
+			resp, _, rerr = s.simulateOne(ctx, children[i], &item.TaskRequest, id)
 		default:
 			rerr = fmt.Errorf("unknown op %q (want solve or simulate)", item.Op)
 		}
@@ -427,8 +486,9 @@ func (s *Server) handleBatch(rc *requestCtx, w http.ResponseWriter, r *http.Requ
 		return BatchItemResult{TaskResponse: resp}, nil
 	})
 	if err != nil {
-		// Only context cancellation or a handler panic can land here.
-		httpError(rc, w, http.StatusInternalServerError, err)
+		// Only context cancellation (an expired batch budget — a
+		// mid-flight shed) or a handler panic can land here.
+		httpError(rc, w, errorCode(err), err)
 		return
 	}
 	for _, c := range children {

@@ -1,15 +1,20 @@
-// Request middleware: ID assignment, per-request child recorders,
+// Request middleware: ID assignment, deadline budgets, admission
+// control, panic containment, chaos taps, per-request child recorders,
 // structured logging, and the service's wall-clock series.
 //
 // This file is the module's ONLY wall-clock site outside
 // internal/telemetry (enforced by the telemetrycheck analyzer): request
-// latency is inherently a wall quantity, and it stays quarantined here —
-// handlers and solvers below the middleware see virtual time only, so
-// every metric they record remains deterministic in the request
-// sequence.
+// latency and service time are inherently wall quantities, and they stay
+// quarantined here — handlers and solvers below the middleware see
+// virtual time only (plus the deadline context, whose polls are
+// pass/fail and never leak a timestamp), so every metric they record
+// remains deterministic in the request sequence.
 package serve
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -17,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"sdem/internal/faults"
 	"sdem/internal/telemetry"
 )
 
@@ -34,6 +40,18 @@ const (
 	metricEnergy = "sdem.serve.request_energy_j"
 	// metricTasks distributes request task-set sizes by route.
 	metricTasks = "sdem.serve.request_tasks"
+	// metricShed counts load-shed requests by route and reason
+	// (queue_full, deadline, timeout, budget).
+	metricShed = "sdem.serve.shed"
+	// metricPanics counts handler panics converted into 500s by route.
+	metricPanics = "sdem.serve.panics"
+	// metricChaos counts injected serve-layer faults by route and kind.
+	metricChaos = "sdem.serve.chaos"
+	// metricCache counts schedule-cache outcomes by op and result
+	// (hit, miss, coalesced). The hit/coalesced split depends on request
+	// timing; the per-op total and the miss count are deterministic in
+	// the request multiset.
+	metricCache = "sdem.serve.cache"
 )
 
 // requestCtx is the per-request state the middleware hands each API
@@ -80,17 +98,38 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return w.ResponseWriter.Write(p)
 }
 
+// budgetOf resolves a request's deadline budget: the client's
+// X-Budget-Ms header when present (capped at MaxBudget), the server
+// default otherwise.
+func (s *Server) budgetOf(r *http.Request) (time.Duration, error) {
+	b := s.cfg.DefaultBudget
+	if v := r.Header.Get("X-Budget-Ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms <= 0 {
+			return 0, fmt.Errorf("bad X-Budget-Ms %q: want a positive integer count of milliseconds", v)
+		}
+		b = time.Duration(ms) * time.Millisecond
+	}
+	if b > s.cfg.MaxBudget {
+		b = s.cfg.MaxBudget
+	}
+	return b, nil
+}
+
 // middleware wraps an API handler: assigns the monotone request ID,
-// creates the child recorder (pid = request ID, the sweep engine's
-// per-work-item pattern), logs one structured completion line, feeds the
-// route latency histogram and in-flight gauge, folds the child's metrics
-// into the root recorder, and parks the child in the trace ring.
+// resolves the deadline budget, runs the route's admission gate, creates
+// the child recorder (pid = request ID, the sweep engine's per-work-item
+// pattern), contains handler panics, logs one structured completion
+// line, feeds the route latency histogram and in-flight gauge, folds the
+// child's metrics into the root recorder, and parks the child in the
+// trace ring.
 func (s *Server) middleware(pattern string, h apiHandler) http.Handler {
 	route := pattern
 	if _, r, ok := strings.Cut(pattern, " "); ok {
 		route = r
 	}
 	routeLabel := "route=" + route
+	g := s.gates[route]
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := s.reqID.Add(1)
 		rc := &requestCtx{id: strconv.FormatInt(id, 10), route: route, tel: s.tel.Child(int(id))}
@@ -99,7 +138,7 @@ func (s *Server) middleware(pattern string, h apiHandler) http.Handler {
 
 		//lint:allow telemetrycheck: request latency is a wall quantity by definition and feeds only the exposition's nondeterministic latency family
 		start := time.Now()
-		h(rc, sw, r)
+		s.serveOne(rc, sw, r, h, g, routeLabel, id)
 		//lint:allow telemetrycheck: see start above — the matching end of the wall-latency measurement
 		latency := time.Since(start)
 
@@ -123,4 +162,88 @@ func (s *Server) middleware(pattern string, h apiHandler) http.Handler {
 		rc.mu.Unlock()
 		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 	})
+}
+
+// serveOne runs the admission-controlled, budget-bounded, panic-contained
+// part of one request: everything between the latency measurement points.
+func (s *Server) serveOne(rc *requestCtx, sw *statusWriter, r *http.Request, h apiHandler, g *gate, routeLabel string, id int64) {
+	budget, err := s.budgetOf(r)
+	if err != nil {
+		httpError(rc, sw, http.StatusBadRequest, err)
+		return
+	}
+	rc.Set("budget_ms", budget.Milliseconds())
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	defer cancel()
+	r = r.WithContext(ctx)
+
+	if g != nil {
+		ok, reason, retryAfter := g.admit(ctx, budget)
+		if !ok {
+			s.shed(rc, sw, routeLabel, reason, retryAfter)
+			return
+		}
+		//lint:allow telemetrycheck: service time (execution only, queue wait excluded) seeds the admission gate's EWMA and exists only on the wall clock
+		execStart := time.Now()
+		defer func() {
+			//lint:allow telemetrycheck: see execStart above — the matching end of the service-time measurement
+			g.release(time.Since(execStart))
+		}()
+	}
+
+	s.invoke(rc, sw, r, h, routeLabel, id)
+
+	// A 429 after admission means the budget expired mid-computation and
+	// a cancellation checkpoint abandoned the solve.
+	if sw.code == http.StatusTooManyRequests {
+		sw.Header().Set("Retry-After", "1")
+		s.tel.CountL(metricShed, "reason="+shedBudget+","+routeLabel, 1)
+		rc.Set("shed", shedBudget)
+	}
+}
+
+// shed refuses a request at the admission gate: 429, a Retry-After hint,
+// and the shed-reason counter. Shedding never reaches a handler, so it
+// costs microseconds no matter how overloaded the solvers are.
+func (s *Server) shed(rc *requestCtx, sw *statusWriter, routeLabel, reason string, retryAfter int) {
+	s.tel.CountL(metricShed, "reason="+reason+","+routeLabel, 1)
+	rc.Set("status", "shed")
+	rc.Set("shed", reason)
+	sw.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeJSON(sw, http.StatusTooManyRequests,
+		errorResponse{Error: "overloaded: " + reason + "; retry after " + strconv.Itoa(retryAfter) + "s"})
+}
+
+// invoke runs the handler under the panic barrier and the chaos tap. A
+// panic becomes a 500 plus a counter increment instead of a dead
+// connection — and if the handler had already started a response body,
+// the status stands but the connection still survives the recover.
+func (s *Server) invoke(rc *requestCtx, sw *statusWriter, r *http.Request, h apiHandler, routeLabel string, id int64) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.tel.CountL(metricPanics, routeLabel, 1)
+			rc.Set("status", "panic")
+			rc.Set("panic", fmt.Sprint(p))
+			if sw.code == 0 {
+				writeJSON(sw, http.StatusInternalServerError,
+					errorResponse{Error: "internal error: handler panicked"})
+			}
+		}
+	}()
+	if s.cfg.Chaos != nil {
+		if f, ok := s.cfg.Chaos.At(id); ok {
+			s.tel.CountL(metricChaos, "kind="+f.Kind.String()+","+routeLabel, 1)
+			rc.Set("chaos", f.Kind.String())
+			switch f.Kind {
+			case faults.ServeLatency:
+				time.Sleep(time.Duration(f.Delay * float64(time.Second)))
+			case faults.ServeError:
+				httpError(rc, sw, http.StatusInternalServerError, errors.New("chaos: injected error"))
+				return
+			case faults.ServePanic:
+				panic("chaos: injected panic (request " + rc.id + ")")
+			}
+		}
+	}
+	h(rc, sw, r)
 }

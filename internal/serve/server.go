@@ -30,9 +30,11 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync/atomic"
 	"time"
 
+	"sdem/internal/faults"
 	"sdem/internal/parallel"
 	"sdem/internal/power"
 	"sdem/internal/telemetry"
@@ -56,6 +58,38 @@ type Config struct {
 	MaxBatch int
 	// Logger receives the structured request log (default slog.Default).
 	Logger *slog.Logger
+
+	// Concurrency caps simultaneously executing requests per compute
+	// route (default 2× Workers). Requests beyond it queue.
+	Concurrency int
+	// QueueDepth bounds requests waiting for an execution slot per
+	// compute route, beyond the executing ones (default 8× Concurrency).
+	// Requests beyond it shed immediately with 429.
+	QueueDepth int
+	// DefaultBudget is the deadline budget of requests that send no
+	// X-Budget-Ms header (default 5s). The budget covers queue wait and
+	// computation; solvers abandon the work at the next cancellation
+	// checkpoint once it expires.
+	DefaultBudget time.Duration
+	// MaxBudget caps client-supplied budgets (default 30s), so a client
+	// cannot park work behind an hour-long deadline.
+	MaxBudget time.Duration
+	// CacheSize bounds the coalescing schedule cache in responses
+	// (default 4096); negative disables caching.
+	CacheSize int
+	// Chaos, when non-nil, injects the plan's serve-layer faults
+	// (latency, errors, panics) by request ordinal — deterministic and
+	// replayable under a fixed plan seed.
+	Chaos *faults.ServePlan
+
+	// ReadTimeout, WriteTimeout and IdleTimeout bound the HTTP server's
+	// connection phases so slow or stalled clients cannot hold
+	// connections open indefinitely. Defaults: 30s read, 2× MaxBudget
+	// write (a response is always allowed to outlive the largest
+	// admitted budget), 120s idle.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	IdleTimeout  time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +111,30 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 2 * c.Workers
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8 * c.Concurrency
+	}
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 5 * time.Second
+	}
+	if c.MaxBudget <= 0 {
+		c.MaxBudget = 30 * time.Second
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 2 * c.MaxBudget
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 120 * time.Second
+	}
 	return c
 }
 
@@ -95,17 +153,26 @@ type Server struct {
 	inflight atomic.Int64
 	ready    atomic.Bool
 	ring     *traceRing
+
+	// gates are the per-compute-route admission controllers.
+	gates map[string]*gate
+	// cache is the coalescing schedule cache; nil when disabled.
+	cache *schedCache
 }
 
 // New builds a Server and its route table.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:  cfg,
-		log:  cfg.Logger,
-		tel:  telemetry.New(),
-		mux:  http.NewServeMux(),
-		ring: newTraceRing(cfg.RingSize),
+		cfg:   cfg,
+		log:   cfg.Logger,
+		tel:   telemetry.New(),
+		mux:   http.NewServeMux(),
+		ring:  newTraceRing(cfg.RingSize),
+		gates: make(map[string]*gate),
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = newSchedCache(cfg.CacheSize)
 	}
 	s.tel.RegisterHistogram(metricLatency, telemetry.BucketsSeconds)
 	s.tel.RegisterHistogram(metricEnergy, telemetry.BucketsJoules)
@@ -139,8 +206,16 @@ func New(cfg Config) *Server {
 }
 
 // handle mounts an API handler behind the request middleware (ID
-// assignment, child recorder, structured log, latency metrics).
+// assignment, admission gate, budget context, panic barrier, child
+// recorder, structured log, latency metrics). Every compute route gets
+// its own bounded admission gate so one saturated route cannot starve
+// the others.
 func (s *Server) handle(pattern string, h apiHandler) {
+	route := pattern
+	if _, r, ok := strings.Cut(pattern, " "); ok {
+		route = r
+	}
+	s.gates[route] = newGate(s.cfg.Concurrency, s.cfg.QueueDepth)
 	s.mux.Handle(pattern, s.middleware(pattern, h))
 }
 
@@ -189,6 +264,9 @@ func Run(ctx context.Context, l net.Listener, s *Server, grace time.Duration) er
 	srv := &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       s.cfg.ReadTimeout,
+		WriteTimeout:      s.cfg.WriteTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(l) }()

@@ -24,6 +24,7 @@
 package sdem
 
 import (
+	"context"
 	"io"
 
 	"sdem/internal/baseline"
@@ -155,6 +156,16 @@ func WriteOpenMetrics(w io.Writer, tel *Telemetry) error {
 // recorder makes it identical to Solve.
 func SolveTel(tasks TaskSet, sys System, tel *Telemetry) (*Solution, error) {
 	return core.SolveTel(tasks, sys, tel)
+}
+
+// SolveCtx is SolveTel under a cooperative-cancellation context: the
+// solvers poll ctx at iteration boundaries (the agreeable DP per memo
+// row) and abandon the solve with an error wrapping ctx's error once the
+// context is done. Use it to bound solve latency with a deadline budget
+// — cmd/sdemd threads every request's budget through here. A nil ctx
+// never cancels; runs that complete are bit-identical to SolveTel's.
+func SolveCtx(ctx context.Context, tasks TaskSet, sys System, tel *Telemetry) (*Solution, error) {
+	return core.SolveCtx(ctx, tasks, sys, tel)
 }
 
 // ComponentEnergy attributes an online run's audited energy to the four
