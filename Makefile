@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test lint fmt fuzz trace-demo bench bench-gate overload-smoke
+.PHONY: check build vet test lint fmt fuzz trace-demo bench bench-gate bench-stream soak-smoke overload-smoke
 
 # check chains the same steps CI runs (.github/workflows/ci.yml).
 check: build vet test lint
@@ -30,25 +30,44 @@ trace-demo:
 	@echo "wrote trace-demo.metrics and trace-demo.json (load the .json in ui.perfetto.dev)"
 
 # bench runs the fast micro-benchmarks and snapshots them to
-# BENCH_7.json via cmd/benchreport, comparing allocs/op against the
-# committed BENCH_6.json baseline (fails on >5% growth), so baselines can
-# be diffed in review and regressions gate. The figure-scale sweeps
+# BENCH_8.json via cmd/benchreport, comparing allocs/op against the
+# committed BENCH_7.json baseline (fails on >5% growth) and enforcing the
+# incremental-engine improvement floor (ScheduleOnline at least 2x ns/op
+# and 5x allocs/op better than the pre-streaming baseline), so baselines
+# can be diffed in review and regressions gate. The figure-scale sweeps
 # (Fig6*/Fig7*/Table3/Sweep*) are excluded: they take minutes and are run
-# manually when sweep performance is the topic.
-BENCH_PATTERN = SolveCommonRelease|SolveAgreeableDP|SolveHeterogeneous|ScheduleOnline|MBKPBaseline|Audit|FFT1024|PartitionExact|Quantize|LowerBound|Telemetry|Uninstrumented|SnapshotDisabled|CanonicalKey
+# manually when sweep performance is the topic. ScheduleStreamMillion
+# runs at a single iteration (one million-arrival pass is the statement)
+# and lands in the snapshot alongside the pattern benchmarks; the 10k
+# sibling rides in the alloc gate too.
+BENCH_PATTERN = SolveCommonRelease|SolveAgreeableDP|SolveHeterogeneous|ScheduleOnline|ScheduleStream10k|MBKPBaseline|Audit|FFT1024|PartitionExact|Quantize|LowerBound|Telemetry|Uninstrumented|SnapshotDisabled|CanonicalKey
 
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' \
-		-benchmem ./... | tee /dev/stderr | $(GO) run ./cmd/benchreport -out BENCH_7.json -compare BENCH_6.json
-	@echo "wrote BENCH_7.json"
+	( $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem ./... && \
+	  $(GO) test ./internal/online -run '^$$' -bench ScheduleStreamMillion -benchmem -benchtime 1x ) \
+		| tee /dev/stderr | $(GO) run ./cmd/benchreport -out BENCH_8.json -compare BENCH_7.json \
+		-require 'BenchmarkScheduleOnline:ns=2,allocs=5'
+	@echo "wrote BENCH_8.json"
 
 # bench-gate re-runs the micro-benchmarks without touching the committed
-# snapshot and fails if any allocs/op regressed >5% vs the BENCH_7.json
+# snapshot and fails if any allocs/op regressed >5% vs the BENCH_8.json
 # baseline. This is the CI alloc-regression gate; allocs/op (unlike ns/op)
 # is deterministic for a fixed binary, so it never flakes under load.
 bench-gate:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 100x \
-		-benchmem ./... | $(GO) run ./cmd/benchreport -compare BENCH_7.json > /dev/null
+		-benchmem ./... | $(GO) run ./cmd/benchreport -compare BENCH_8.json > /dev/null
+
+# bench-stream pushes one million sporadic arrivals through the streaming
+# engine in a single pass: allocations must track the active set (the
+# reported max_active), not the arrival count, and any unexplained miss
+# fails the benchmark itself.
+bench-stream:
+	$(GO) test ./internal/online -run '^$$' -bench ScheduleStreamMillion -benchmem -benchtime 1x
+
+# soak-smoke runs the streaming engine for ten virtual minutes under
+# fault injection; sdemsoak exits nonzero on any unexplained miss.
+soak-smoke:
+	$(GO) run ./cmd/sdemsoak -virtual 600 -fault-intensity 0.6 -q
 
 # overload-smoke reproduces the CI overload drill locally: a low-capacity
 # sdemd under 2x-plus load must shed (429 + Retry-After) without a single

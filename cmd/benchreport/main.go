@@ -17,6 +17,17 @@
 // by more than -max-alloc-growth (default 5%). Only allocs/op is gated —
 // unlike wall time it is deterministic for a fixed binary, so the gate
 // never flakes on a loaded CI machine.
+//
+// A repeatable -require flag turns the comparison into an improvement
+// gate for specific benchmarks:
+//
+//	-require 'BenchmarkScheduleOnline:ns=2,allocs=5'
+//
+// demands baseline/current ≥ 2 for ns/op and ≥ 5 for allocs/op — i.e.
+// the named benchmark must be at least that many times better than the
+// baseline. Metrics are ns, allocs, and bytes. A required benchmark
+// missing from either report fails the gate: a floor that silently
+// stops measuring is no floor.
 package main
 
 import (
@@ -53,7 +64,13 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	compare := flag.String("compare", "", "baseline report to gate allocs/op regressions against")
 	maxGrowth := flag.Float64("max-alloc-growth", 0.05, "maximum allowed relative allocs/op growth vs the baseline")
+	var require requireList
+	flag.Var(&require, "require", "improvement floor 'BenchmarkName:ns=2,allocs=5' vs the -compare baseline (repeatable)")
 	flag.Parse()
+	if len(require) > 0 && *compare == "" {
+		fmt.Fprintln(os.Stderr, "benchreport: -require needs a -compare baseline")
+		os.Exit(1)
+	}
 
 	report, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -96,6 +113,124 @@ func main() {
 			regressions, *compare, *maxGrowth*100)
 		os.Exit(1)
 	}
+	failures, err := checkRequired(os.Stderr, baseline, report, require)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: %d improvement floor(s) not met vs %s\n", failures, *compare)
+		os.Exit(1)
+	}
+}
+
+// requireList collects repeated -require flags.
+type requireList []string
+
+func (r *requireList) String() string { return strings.Join(*r, " ") }
+func (r *requireList) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+// findByName returns the unique benchmark entry with the given name, in
+// any package. Duplicates across packages are ambiguous and rejected.
+func findByName(rep Report, name string) (*Entry, error) {
+	var found *Entry
+	for i := range rep.Benchmarks {
+		if rep.Benchmarks[i].Name != name {
+			continue
+		}
+		if found != nil {
+			return nil, fmt.Errorf("benchmark %s is ambiguous: present in %s and %s",
+				name, found.Package, rep.Benchmarks[i].Package)
+		}
+		found = &rep.Benchmarks[i]
+	}
+	return found, nil
+}
+
+// checkRequired enforces the -require improvement floors: for each spec
+// "BenchmarkName:metric=factor,..." the named benchmark must satisfy
+// baseline/current ≥ factor on every listed metric. A benchmark missing
+// from either report counts as a failure; a malformed spec is an error.
+func checkRequired(w io.Writer, baseline, current Report, specs []string) (failures int, err error) {
+	for _, spec := range specs {
+		name, metrics, ok := strings.Cut(spec, ":")
+		if !ok || name == "" || metrics == "" {
+			return failures, fmt.Errorf("malformed -require %q: want 'BenchmarkName:ns=2,allocs=5'", spec)
+		}
+		base, err := findByName(baseline, name)
+		if err != nil {
+			return failures, err
+		}
+		cur, err := findByName(current, name)
+		if err != nil {
+			return failures, err
+		}
+		if base == nil || cur == nil {
+			failures++
+			side := "baseline"
+			if base != nil {
+				side = "current run"
+			}
+			fmt.Fprintf(w, "  MISSING   %s: required benchmark absent from the %s\n", name, side)
+			continue
+		}
+		for _, m := range strings.Split(metrics, ",") {
+			metric, factorStr, ok := strings.Cut(m, "=")
+			if !ok {
+				return failures, fmt.Errorf("malformed -require metric %q in %q: want 'metric=factor'", m, spec)
+			}
+			factor, err := strconv.ParseFloat(factorStr, 64)
+			if err != nil || factor <= 0 {
+				return failures, fmt.Errorf("malformed -require factor %q in %q", factorStr, spec)
+			}
+			var old, now float64
+			var unit string
+			switch metric {
+			case "ns":
+				old, now, unit = base.NsPerOp, cur.NsPerOp, "ns/op"
+			case "allocs":
+				if base.AllocsPerOp == nil || cur.AllocsPerOp == nil {
+					failures++
+					fmt.Fprintf(w, "  MISSING   %s: allocs/op absent (run with -benchmem)\n", name)
+					continue
+				}
+				old, now, unit = *base.AllocsPerOp, *cur.AllocsPerOp, "allocs/op"
+			case "bytes":
+				if base.BytesPerOp == nil || cur.BytesPerOp == nil {
+					failures++
+					fmt.Fprintf(w, "  MISSING   %s: B/op absent (run with -benchmem)\n", name)
+					continue
+				}
+				old, now, unit = *base.BytesPerOp, *cur.BytesPerOp, "B/op"
+			default:
+				return failures, fmt.Errorf("unknown -require metric %q in %q: want ns, allocs, or bytes", metric, spec)
+			}
+			if now*factor > old {
+				failures++
+				fmt.Fprintf(w, "  BELOW     %s: %s %.0f -> %.0f is %.2fx, floor %gx\n",
+					name, unit, old, now, ratio(old, now), factor)
+			} else {
+				fmt.Fprintf(w, "  floor ok  %s: %s %.0f -> %.0f is %.2fx (floor %gx)\n",
+					name, unit, old, now, ratio(old, now), factor)
+			}
+		}
+	}
+	return failures, nil
+}
+
+// ratio is the baseline/current improvement factor; a zero current with
+// a nonzero baseline is an infinite improvement.
+func ratio(old, now float64) float64 {
+	if now == 0 { //lint:allow floatcmp: guards the division; benchmark metrics are exact
+		if old == 0 { //lint:allow floatcmp: see above
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return old / now
 }
 
 // compareAllocs reports every benchmark's allocs/op movement against the

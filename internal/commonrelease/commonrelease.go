@@ -54,14 +54,30 @@ type Solution struct {
 // times.
 var ErrNotCommonRelease = errors.New("commonrelease: tasks do not share a release time")
 
+// naturalMode selects how normalization derives each task's individually
+// optimal ("natural") speed: the filled speed for §4.1, the critical speed
+// s_0 for §4.2, and the horizon-constrained critical speed s_c for §7.
+type naturalMode int
+
+const (
+	naturalFilled naturalMode = iota
+	naturalCritical
+	naturalConstrained
+)
+
 // instance is the normalized problem: release shifted to 0, zero-workload
 // tasks dropped, tasks sorted by natural completion.
+//
+// All of its slices are reset-and-reused by normalizeInto, so a retained
+// instance (see Solver) re-solves without allocating; the one-shot Solve*
+// entry points build a fresh instance per call exactly as before.
 type instance struct {
 	sys     power.System
 	release float64     // original common release time
 	horizon float64     // d_max relative to release
 	tasks   []task.Task // sorted by natural completion, times relative to release
 	c       []float64   // natural completion times, ascending
+	pos     []int       // input position of each tasks[i] (zeros excluded)
 	zeros   task.Set    // zero-workload tasks (scheduled nowhere)
 	tel     *telemetry.Recorder
 
@@ -72,6 +88,24 @@ type instance struct {
 	// built fresh; the scratch never leaves the instance.
 	scratch *schedule.Schedule
 	aud     schedule.Auditor
+
+	// Overhead-scan scratch (overhead.go), retained across solves.
+	points  []float64
+	sufMaxW []float64
+	evalFn  func(float64) float64
+
+	// Closed-form objective tables (overhead.go), retained across solves.
+	sufPow  []float64
+	prefDyn []float64
+	prefFix []float64
+
+	// Normalization scratch: the stable completion sort permutes through
+	// the alt buffers, which swap with the primary ones each solve.
+	idx  []int
+	altT []task.Task
+	altC []float64
+	altP []int
+	seen map[int]bool
 }
 
 // record charges one completed solve into the recorder: a per-scheme
@@ -91,58 +125,152 @@ func (in *instance) record(scheme string, sol *Solution) {
 }
 
 // normalize validates the input and produces the sorted instance.
-// natural returns each task's individually optimal ("natural") speed; it
-// receives the task with times already relative to the common release.
-func normalize(tasks task.Set, sys power.System, natural func(task.Task) float64) (*instance, error) {
-	if err := tasks.Validate(); err != nil {
+// natural selects how each task's individually optimal ("natural") speed
+// is derived; horizon0 is the §7 maximal interval (only read by
+// naturalConstrained).
+func normalize(tasks task.Set, sys power.System, natural naturalMode, horizon0 float64, tel *telemetry.Recorder) (*instance, error) {
+	in := &instance{}
+	if err := in.normalizeInto(tasks, sys, natural, horizon0, tel); err != nil {
 		return nil, err
+	}
+	return in, nil
+}
+
+// completionSort stably sorts an index permutation by ascending natural
+// completion. The pointer receiver keeps sort.Stable from boxing a fresh
+// header per solve.
+type completionSort struct {
+	idx []int
+	c   []float64
+}
+
+func (s *completionSort) Len() int           { return len(s.idx) }
+func (s *completionSort) Less(a, b int) bool { return s.c[s.idx[a]] < s.c[s.idx[b]] }
+func (s *completionSort) Swap(a, b int)      { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+
+// validate mirrors task.Set.Validate through the instance's retained
+// duplicate-ID map so re-solving does not allocate. Error behaviour is
+// identical: per-task validation first, then duplicate detection in input
+// order.
+func (in *instance) validate(tasks task.Set) error {
+	if in.seen == nil {
+		//lint:allow hotalloc: the duplicate-ID map is allocated once per instance and cleared per solve
+		in.seen = make(map[int]bool, len(tasks))
+	}
+	clear(in.seen)
+	for _, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if in.seen[t.ID] {
+			return fmt.Errorf("duplicate task ID %d", t.ID)
+		}
+		in.seen[t.ID] = true
+	}
+	return nil
+}
+
+// normalizeInto is normalize writing into a reusable instance: every
+// slice is reset and refilled in place, so a retained instance re-solves
+// allocation-free once its buffers reach the high-water instance size.
+//
+//sdem:hotpath
+func (in *instance) normalizeInto(tasks task.Set, sys power.System, natural naturalMode, horizon0 float64, tel *telemetry.Recorder) error {
+	if err := in.validate(tasks); err != nil {
+		return err
 	}
 	if err := sys.Validate(); err != nil {
-		return nil, err
+		return err
 	}
+	in.sys = sys
+	in.tel = tel
+	in.release, in.horizon = 0, 0
+	in.tasks, in.c, in.pos = in.tasks[:0], in.c[:0], in.pos[:0]
+	in.zeros = in.zeros[:0]
 	if len(tasks) == 0 {
-		return &instance{sys: sys}, nil
+		return nil
+	}
+	// Pre-size every backing in one shot: a fresh instance would otherwise
+	// pay O(log n) geometric-growth reallocations per slice below, while a
+	// reused one (cap already at the high-water size) allocates nothing.
+	if n := len(tasks); cap(in.tasks) < n {
+		//lint:allow hotalloc: the instance backings grow to the high-water instance size once
+		in.tasks = make(task.Set, 0, n)
+		//lint:allow hotalloc: see above
+		in.pos = make([]int, 0, n)
+		//lint:allow hotalloc: see above
+		in.c = make([]float64, 0, n)
+		//lint:allow hotalloc: see above
+		in.idx = make([]int, 0, n)
+		//lint:allow hotalloc: see above
+		in.altT = make(task.Set, 0, n)
+		//lint:allow hotalloc: see above
+		in.altC = make([]float64, 0, n)
+		//lint:allow hotalloc: see above
+		in.altP = make([]int, 0, n)
 	}
 	if !tasks.IsCommonRelease() {
-		return nil, ErrNotCommonRelease
+		return ErrNotCommonRelease
 	}
 	if !tasks.Feasible(sys.Core.SpeedMax) {
-		return nil, fmt.Errorf("commonrelease: some task exceeds s_up even at filled speed: %w", schedule.ErrInfeasible)
+		return fmt.Errorf("commonrelease: some task exceeds s_up even at filled speed: %w", schedule.ErrInfeasible)
 	}
 	release := tasks[0].Release
-	in := &instance{sys: sys, release: release}
-	for _, t := range tasks {
+	in.release = release
+	for i, t := range tasks {
 		t.Release -= release
 		t.Deadline -= release
 		if numeric.IsZero(t.Workload, 0) {
+			//lint:allow hotalloc: appends into the instance's reused zeros backing
 			in.zeros = append(in.zeros, t)
 			continue
 		}
+		//lint:allow hotalloc: appends into the instance's reused task/pos backings
 		in.tasks = append(in.tasks, t)
+		in.pos = append(in.pos, i)
 		in.horizon = math.Max(in.horizon, t.Deadline)
 	}
-	in.c = make([]float64, len(in.tasks))
-	for i, t := range in.tasks {
-		s := natural(t)
-		if s <= 0 || math.IsInf(s, 0) {
-			return nil, fmt.Errorf("commonrelease: task %d has invalid natural speed %g: %w", t.ID, s, schedule.ErrInfeasible)
+	in.c = in.c[:0]
+	for _, t := range in.tasks {
+		var s float64
+		switch natural {
+		case naturalCritical:
+			filled := t.FilledSpeed()
+			s = sys.Core.CriticalSpeed(filled)
+			if s <= filled*(1+relTol) {
+				tel.Count("sdem.solver.cr.critical_clamps", 1)
+			}
+		case naturalConstrained:
+			s = sys.Core.ConstrainedCriticalSpeed(t.FilledSpeed(), t.Workload, horizon0)
+		default:
+			s = t.FilledSpeed()
 		}
-		in.c[i] = t.Workload / s
+		if s <= 0 || math.IsInf(s, 0) {
+			return fmt.Errorf("commonrelease: task %d has invalid natural speed %g: %w", t.ID, s, schedule.ErrInfeasible)
+		}
+		//lint:allow hotalloc: appends into the instance's reused completion backing
+		in.c = append(in.c, t.Workload/s)
 	}
 	// Sort tasks and completions together, ascending by completion.
-	idx := make([]int, len(in.tasks))
-	for i := range idx {
-		idx[i] = i
+	in.idx = in.idx[:0]
+	for i := range in.tasks {
+		//lint:allow hotalloc: appends into the instance's reused index backing
+		in.idx = append(in.idx, i)
 	}
-	//lint:allow hotalloc: the index sort runs once per solve during normalization, not per objective evaluation
-	sort.SliceStable(idx, func(a, b int) bool { return in.c[idx[a]] < in.c[idx[b]] })
-	ts := make([]task.Task, len(idx))
-	cs := make([]float64, len(idx))
-	for i, j := range idx {
-		ts[i], cs[i] = in.tasks[j], in.c[j]
+	srt := completionSort{idx: in.idx, c: in.c}
+	sort.Stable(&srt)
+	ts, cs, ps := in.altT[:0], in.altC[:0], in.altP[:0]
+	for _, j := range in.idx {
+		//lint:allow hotalloc: appends into the instance's reused alt backings, swapped with the primaries below
+		ts = append(ts, in.tasks[j])
+		//lint:allow hotalloc: see above
+		cs = append(cs, in.c[j])
+		//lint:allow hotalloc: see above
+		ps = append(ps, in.pos[j])
 	}
-	in.tasks, in.c = ts, cs
-	return in, nil
+	in.altT, in.altC, in.altP = in.tasks[:0], in.c[:0], in.pos[:0]
+	in.tasks, in.c, in.pos = ts, cs, ps
+	return nil
 }
 
 // build constructs the schedule for busy length L: tasks with natural
@@ -181,6 +309,16 @@ func (in *instance) buildInto(s *schedule.Schedule, L float64) {
 func (in *instance) energyOf(L float64) float64 {
 	if in.scratch == nil {
 		in.scratch = schedule.New(len(in.tasks), in.release, in.release+in.horizon)
+	} else {
+		// A retained instance crosses solves of different shapes: shrink
+		// the core list (the audit charges idle energy for every core up
+		// to NumCores) and refresh the horizon before rebuilding.
+		s := in.scratch
+		if len(in.tasks) < len(s.Cores) {
+			s.Cores = s.Cores[:len(in.tasks)]
+		}
+		s.NumCores = len(in.tasks)
+		s.Start, s.End = in.release, in.release+in.horizon
 	}
 	in.buildInto(in.scratch, L)
 	return in.aud.Audit(in.scratch, in.sys).Total()
@@ -302,29 +440,38 @@ func SolveAlphaZero(tasks task.Set, sys power.System) (*Solution, error) {
 // SolveAlphaZeroTel is SolveAlphaZero with telemetry attached; a nil
 // recorder is the uninstrumented path.
 func SolveAlphaZeroTel(tasks task.Set, sys power.System, tel *telemetry.Recorder) (*Solution, error) {
-	in, err := normalize(tasks, sys, func(t task.Task) float64 { return t.FilledSpeed() })
+	in, err := normalize(tasks, sys, naturalFilled, 0, tel)
 	if err != nil {
 		return nil, err
 	}
-	in.tel = tel
+	L, caseIdx := in.alphaZeroPlan()
+	if len(in.tasks) == 0 {
+		return in.empty(), nil
+	}
+	sol := in.solution(L, caseIdx)
+	in.record("alpha_zero", sol)
+	return sol, nil
+}
+
+// alphaZeroPlan applies the §4.1 audit-model adjustments and picks the
+// optimal busy length; callers with no positive-workload tasks must take
+// the empty solution instead. Shared by SolveAlphaZeroTel and
+// Solver.PlanEnds so the two can never diverge.
+func (in *instance) alphaZeroPlan() (L float64, caseIdx int) {
 	// Audit must not charge core static power in the α=0 model.
 	in.sys.Core.Static = 0
 	in.sys.Core.BreakEven = 0
 	in.sys.Memory.BreakEven = 0
 	if len(in.tasks) == 0 {
-		return in.empty(), nil
+		return 0, 0
 	}
-	var sol *Solution
 	if numeric.IsZero(in.sys.Memory.Static, 0) {
 		// Without memory leakage each task independently prefers its
 		// filled speed; the busy length is the latest deadline.
-		sol = in.solution(in.c[len(in.c)-1], 1)
-	} else {
-		i, L := in.scanAll(0)
-		sol = in.solution(L, i+1)
+		return in.c[len(in.c)-1], 1
 	}
-	in.record("alpha_zero", sol)
-	return sol, nil
+	i, L := in.scanAll(0)
+	return L, i + 1
 }
 
 // SolveWithStatic solves §4.2: common release time, non-negligible core
@@ -340,28 +487,31 @@ func SolveWithStatic(tasks task.Set, sys power.System) (*Solution, error) {
 // whose critical speed s_0 was raised to the filled-speed floor
 // (sdem.solver.cr.critical_clamps).
 func SolveWithStaticTel(tasks task.Set, sys power.System, tel *telemetry.Recorder) (*Solution, error) {
-	//lint:allow hotalloc: the natural-speed closure allocates once per solve and is reused for every task
-	in, err := normalize(tasks, sys, func(t task.Task) float64 {
-		filled := t.FilledSpeed()
-		s := sys.Core.CriticalSpeed(filled)
-		if s <= filled*(1+relTol) {
-			tel.Count("sdem.solver.cr.critical_clamps", 1)
-		}
-		return s
-	})
+	in, err := normalize(tasks, sys, naturalCritical, 0, tel)
 	if err != nil {
 		return nil, err
 	}
-	in.tel = tel
-	in.sys.Core.BreakEven = 0
-	in.sys.Memory.BreakEven = 0
+	L, caseIdx := in.withStaticPlan()
 	if len(in.tasks) == 0 {
 		return in.empty(), nil
 	}
-	i, L := in.scanAll(in.sys.Core.Static)
-	sol := in.solution(L, i+1)
+	sol := in.solution(L, caseIdx)
 	in.record("with_static", sol)
 	return sol, nil
+}
+
+// withStaticPlan applies the §4.2 audit-model adjustments and picks the
+// optimal busy length; callers with no positive-workload tasks must take
+// the empty solution instead. Shared by SolveWithStaticTel and
+// Solver.PlanEnds.
+func (in *instance) withStaticPlan() (L float64, caseIdx int) {
+	in.sys.Core.BreakEven = 0
+	in.sys.Memory.BreakEven = 0
+	if len(in.tasks) == 0 {
+		return 0, 0
+	}
+	i, L := in.scanAll(in.sys.Core.Static)
+	return L, i + 1
 }
 
 // Solve dispatches to the right §4 scheme based on the system model:
@@ -393,7 +543,7 @@ func SolveTel(tasks task.Set, sys power.System, tel *telemetry.Recorder) (*Solut
 // same (case, busy length) as the full scan; both are exposed so tests can
 // assert the theorem's early-stopping argument.
 func Theorem2Scan(tasks task.Set, sys power.System) (int, float64, error) {
-	in, err := normalize(tasks, sys, func(t task.Task) float64 { return t.FilledSpeed() })
+	in, err := normalize(tasks, sys, naturalFilled, 0, nil)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -435,11 +585,10 @@ func BinarySearchScan(tasks task.Set, sys power.System) (int, float64, error) {
 // bisection step increments sdem.solver.cr.bsearch_iters, making the
 // O(log n) bound observable.
 func BinarySearchScanTel(tasks task.Set, sys power.System, tel *telemetry.Recorder) (int, float64, error) {
-	in, err := normalize(tasks, sys, func(t task.Task) float64 { return t.FilledSpeed() })
+	in, err := normalize(tasks, sys, naturalFilled, 0, tel)
 	if err != nil {
 		return 0, 0, err
 	}
-	in.tel = tel
 	if len(in.tasks) == 0 || numeric.IsZero(in.sys.Memory.Static, 0) {
 		return 0, 0, errors.New("commonrelease: BinarySearchScan needs positive work and memory power")
 	}

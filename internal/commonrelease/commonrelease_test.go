@@ -257,7 +257,7 @@ func TestDeltaMonotoneAcrossCases(t *testing.T) {
 	sys := testSystem()
 	r := rand.New(rand.NewSource(42))
 	tasks := randomCommonRelease(r, 8)
-	in, err := normalize(tasks, sys, func(tk task.Task) float64 { return tk.FilledSpeed() })
+	in, err := normalize(tasks, sys, naturalFilled, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +280,7 @@ func TestClosedFormMatchesAudit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inZ, _ := normalize(tasks, sysZ, func(tk task.Task) float64 { return tk.FilledSpeed() })
+	inZ, _ := normalize(tasks, sysZ, naturalFilled, 0, nil)
 	inZ.sys.Core.Static = 0
 	cdZ := inZ.cases(0, true)[sol.Case-1]
 	if e := inZ.energyAt(cdZ, sol.Case-1, sol.BusyLen, 0); !almost(e, sol.Energy, 1e-9) {
@@ -291,9 +291,7 @@ func TestClosedFormMatchesAudit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	in2, _ := normalize(tasks, sysZ, func(tk task.Task) float64 {
-		return sysZ.Core.CriticalSpeed(tk.FilledSpeed())
-	})
+	in2, _ := normalize(tasks, sysZ, naturalCritical, 0, nil)
 	cd2 := in2.cases(sysZ.Core.Static, true)[sol2.Case-1]
 	if e := in2.energyAt(cd2, sol2.Case-1, sol2.BusyLen, sysZ.Core.Static); !almost(e, sol2.Energy, 1e-9) {
 		t.Errorf("α≠0: closed form %g != audit %g", e, sol2.Energy)

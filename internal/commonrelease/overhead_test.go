@@ -19,13 +19,7 @@ func sweepOverhead(tasks task.Set, sys power.System, samples int) (float64, erro
 	for _, t := range tasks {
 		horizon = math.Max(horizon, t.Deadline-t.Release)
 	}
-	natural := func(t task.Task) float64 {
-		if sys.Core.Static == 0 {
-			return t.FilledSpeed()
-		}
-		return sys.Core.ConstrainedCriticalSpeed(t.FilledSpeed(), t.Workload, horizon)
-	}
-	in, err := normalize(tasks, sys, natural)
+	in, err := normalize(tasks, sys, overheadMode(sys), horizon, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -147,9 +141,7 @@ func TestTable3CaseSelection(t *testing.T) {
 	}
 	// No alignment benefit: the busy length is the largest natural
 	// completion.
-	inNat, _ := normalize(tasks, sys, func(tk task.Task) float64 {
-		return sys.Core.ConstrainedCriticalSpeed(tk.FilledSpeed(), tk.Workload, sol.Schedule.End-sol.Schedule.Start)
-	})
+	inNat, _ := normalize(tasks, sys, naturalConstrained, sol.Schedule.End-sol.Schedule.Start, nil)
 	if !almost(sol.BusyLen, inNat.c[len(inNat.c)-1], 1e-6) {
 		t.Errorf("row 2: busy length %g, want natural max %g", sol.BusyLen, inNat.c[len(inNat.c)-1])
 	}
@@ -217,5 +209,43 @@ func TestOverheadEmptyAndErrors(t *testing.T) {
 	}
 	if _, err := SolveWithOverhead(bad, sys); err == nil {
 		t.Error("non-common release must be rejected")
+	}
+}
+
+// TestEnergyClosedMatchesAudit pins the closed-form golden-section
+// objective to the audit-based oracle it replaced: for random instances
+// and busy lengths across the scan range, energyClosed must price the
+// candidate exactly as building and auditing the schedule would, up to
+// float rounding.
+func TestEnergyClosedMatchesAudit(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		sys := power.DefaultSystem()
+		// Vary the break-evens so both sides of every gapCost branch get hit.
+		sys.Core.BreakEven = power.Milliseconds(1 + 20*r.Float64())
+		sys.Memory.BreakEven = power.Milliseconds(1 + 30*r.Float64())
+		n := 2 + r.Intn(12)
+		tasks := make(task.Set, n)
+		for i := range tasks {
+			tasks[i] = task.Task{
+				ID:       i,
+				Release:  0,
+				Deadline: power.Milliseconds(20 + 100*r.Float64()),
+				Workload: 1e6 + 4e6*r.Float64(),
+			}
+		}
+		in, err := normalize(tasks, sys, overheadMode(sys), overheadHorizon(tasks), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.overheadScan() // fills the closed-form tables
+		cMax := in.c[len(in.c)-1]
+		for trial := 0; trial < 200; trial++ {
+			L := cMax * (0.05 + 0.95*r.Float64())
+			got, want := in.energyClosed(L), in.energyOf(L)
+			if rel := math.Abs(got-want) / math.Max(want, 1e-12); rel > 1e-9 {
+				t.Fatalf("seed %d n %d L %g: closed form %g vs audit %g (rel %g)", seed, n, L, got, want, rel)
+			}
+		}
 	}
 }

@@ -1,0 +1,122 @@
+package commonrelease
+
+import (
+	"sdem/internal/power"
+	"sdem/internal/schedule"
+	"sdem/internal/task"
+	"sdem/internal/telemetry"
+)
+
+// Solver is a retained common-release solver: it owns one instance whose
+// scratch buffers (normalization, overhead scan, candidate schedule,
+// auditor) persist across solves, so repeated planning — SDEM-ON
+// re-planning every arrival, sdemd serving request streams — runs
+// allocation-free once the buffers reach the high-water instance size.
+//
+// A Solver is not safe for concurrent use; retain one per goroutine (or
+// pool them, as internal/serve does).
+type Solver struct {
+	in   instance
+	ends []float64
+}
+
+// PlanEndsRel solves the common-release instance with the same scheme
+// dispatch as SolveTel and returns only the per-task completion ends,
+// relative to the common release: ends[i] is the busy-aligned completion
+// of input task i (its natural completion c_i, or the busy length L when
+// aligned), or 0 for a zero-workload task scheduled nowhere.
+//
+// The returned slice aliases the Solver's scratch and is valid until the
+// next PlanEndsRel call.
+//
+// Bit-compatibility contract, enforced by the online equivalence tests:
+// normalization subtracts the release before any arithmetic, so ends
+// depends only on the (deadline − release, workload) bit pattern of each
+// task plus sys — two instances that agree on those produce identical
+// bits at any release. The segment that task i receives in the
+// corresponding SolveTel solution schedule spans exactly
+// [release, release + ends[i]] — unless that float interval is no longer
+// than schedule.Tol/10, in which case Normalize drops it and the task
+// has no segment. Callers recover the absolute picture by replaying that
+// shift-and-filter; PlanEndsRel itself skips building and auditing the
+// final schedule, which is what makes it cheaper than SolveTel — the
+// busy-length search is shared code.
+func (sv *Solver) PlanEndsRel(tasks task.Set, sys power.System, tel *telemetry.Recorder) ([]float64, error) {
+	in := &sv.in
+	var L float64
+	var scheme string
+	switch {
+	case sys.Core.BreakEven > 0 || sys.Memory.BreakEven > 0:
+		scheme = "overhead"
+		if err := in.normalizeInto(tasks, sys, overheadMode(sys), overheadHorizon(tasks), tel); err != nil {
+			return nil, err
+		}
+		if len(in.tasks) > 0 {
+			L, _ = in.overheadScan()
+		}
+	case sys.Core.Static > 0:
+		scheme = "with_static"
+		if err := in.normalizeInto(tasks, sys, naturalCritical, 0, tel); err != nil {
+			return nil, err
+		}
+		L, _ = in.withStaticPlan()
+	default:
+		scheme = "alpha_zero"
+		if err := in.normalizeInto(tasks, sys, naturalFilled, 0, tel); err != nil {
+			return nil, err
+		}
+		L, _ = in.alphaZeroPlan()
+	}
+	if tel != nil {
+		tel.CountL("sdem.solver.cr.solves", "scheme="+scheme, 1)
+		tel.Count("sdem.solver.cr.tasks", int64(len(in.tasks)))
+	}
+
+	if cap(sv.ends) < len(tasks) {
+		//lint:allow hotalloc: the ends backing grows to the high-water instance size once
+		sv.ends = make([]float64, len(tasks))
+	}
+	ends := sv.ends[:len(tasks)]
+	for i := range ends {
+		ends[i] = 0
+	}
+	for i := range in.tasks {
+		// Mirror buildInto bit-for-bit: aligned tasks (natural completion
+		// within Tol of L or beyond) end at L, the rest at c_i.
+		end := in.c[i]
+		if end >= L-schedule.Tol {
+			end = L
+		}
+		ends[in.pos[i]] = end
+	}
+	return ends, nil
+}
+
+// NaturalCompletion returns the completion time, relative to release,
+// that SolveTel's normalization assigns the task when it runs at its
+// natural speed under sys: the same bits as the corresponding in.c entry
+// of normalizeInto. horizon is the §7 maximal interval max_j (d_j − r_j)
+// of the instance the task belongs to (only read in overhead mode on a
+// leaky core).
+//
+// Every scheme picks a busy length L ≤ max_j c_j and every planned
+// completion is ≤ max(c_j, L), so release + max_j NaturalCompletion
+// bounds all planned execution — the online engine uses this to certify
+// that a planning step cannot schedule work past a point without
+// running the solve.
+func NaturalCompletion(t task.Task, sys power.System, horizon float64) float64 {
+	var s float64
+	switch {
+	case sys.Core.BreakEven > 0 || sys.Memory.BreakEven > 0:
+		if overheadMode(sys) == naturalFilled {
+			s = t.FilledSpeed()
+		} else {
+			s = sys.Core.ConstrainedCriticalSpeed(t.FilledSpeed(), t.Workload, horizon)
+		}
+	case sys.Core.Static > 0:
+		s = sys.Core.CriticalSpeed(t.FilledSpeed())
+	default:
+		s = t.FilledSpeed()
+	}
+	return t.Workload / s
+}

@@ -62,7 +62,22 @@ type plan struct {
 // Schedule runs SDEM-ON over the task set and returns the audited result.
 // Deadline misses (possible only under core shortage or infeasible
 // inputs) are reported in the result rather than failing the run.
+//
+// It drives the incremental engine (Runtime); ScheduleRescan is the
+// legacy full-rescan reference with bit-identical output, kept as the
+// equivalence oracle.
 func Schedule(tasks task.Set, sys power.System, opts Options) (*sim.Result, error) {
+	var rt Runtime
+	return rt.Schedule(tasks, sys, opts)
+}
+
+// ScheduleRescan is the reference SDEM-ON implementation: on every
+// arrival it rescans the whole pool for released jobs and re-solves the
+// common-release instance from scratch. It is O(n²) in arrivals and
+// exists as the equivalence oracle for the incremental engine — the
+// property tests assert Schedule and ScheduleRescan produce byte-identical
+// results on every deterministic workload.
+func ScheduleRescan(tasks task.Set, sys power.System, opts Options) (*sim.Result, error) {
 	pool, err := sim.NewPool(tasks, sys, opts.Cores)
 	if err != nil {
 		return nil, err
@@ -190,15 +205,16 @@ func PlanAt(pool *sim.Pool, active []*sim.Job, now float64, opts Options) ([]Pla
 		for _, vt := range virtual {
 			p := ends[vt.ID] - now
 			if p <= 0 { // defensive: plan must give every task time
-				p = vt.Workload / effectiveMax(sys)
+				p = vt.Workload / raceSpeed(vt.Workload, vt.Release, vt.Deadline, now, sys)
 			}
 			plans = append(plans, Plan{TaskID: vt.ID, P: p, Speed: vt.Workload / p})
 			wake = math.Min(wake, vt.Deadline-p)
 		}
 	}
 	for _, j := range urgent {
-		p := j.Remaining / effectiveMax(sys)
-		plans = append(plans, Plan{TaskID: j.Task.ID, P: p, Speed: effectiveMax(sys), Urgent: true})
+		s := raceSpeed(j.Remaining, j.Task.Release, j.Task.Deadline, now, sys)
+		p := j.Remaining / s
+		plans = append(plans, Plan{TaskID: j.Task.ID, P: p, Speed: s, Urgent: true})
 		wake = now
 	}
 	tel.Count("sdem.solver.online.urgent_jobs", int64(len(urgent)))
@@ -238,6 +254,28 @@ func effectiveMax(sys power.System) float64 {
 	return 1e12 // effectively unbounded
 }
 
+// raceSpeed is the finite racing speed for a job that can no longer meet
+// its deadline (or that the plan failed to give time): s_up when the
+// platform bounds speed; on an unbounded platform, the remaining work
+// stretched over the remaining window — or over the original window when
+// even that has closed — so the plan carries a physically meaningful
+// speed instead of effectiveMax's 1e12 sentinel (which produced absurd
+// audited energy and near-zero P for urgent jobs). The final 1-second
+// stretch is unreachable for validated tasks (Deadline > Release) but
+// keeps the result finite for perturbed pools.
+func raceSpeed(rem, release, deadline, now float64, sys power.System) float64 {
+	if sys.Core.SpeedMax > 0 {
+		return sys.Core.SpeedMax
+	}
+	if w := deadline - now; w > 0 {
+		return rem / w
+	}
+	if w := deadline - release; w > 0 {
+		return rem / w
+	}
+	return rem // stretch over one second: every window signal is gone
+}
+
 // plansEDF sorts plans by deadline then task ID. The pointer receiver
 // avoids boxing a fresh slice header into sort.Interface on every step.
 type plansEDF []plan
@@ -255,7 +293,15 @@ func (p *plansEDF) Swap(a, b int) { (*p)[a], (*p)[b] = (*p)[b], (*p)[a] }
 
 // execute lays the planned executions onto cores from wake until next,
 // EDF-ordered, waiting for cores when oversubscribed.
-func execute(pool *sim.Pool, busyUntil []float64, plans []plan, wake, next float64) error {
+// runner is the execution substrate execute drives: the batch Pool and
+// the streaming Stream both satisfy it, so the same executor serves
+// bounded runs and the soak engine.
+type runner interface {
+	Run(taskID, core int, t0, t1, speed float64) (float64, error)
+	System() power.System
+}
+
+func execute(pool runner, busyUntil []float64, plans []plan, wake, next float64) error {
 	sort.Stable((*plansEDF)(&plans))
 	sys := pool.System()
 	for _, pl := range plans {
@@ -274,6 +320,7 @@ func execute(pool *sim.Pool, busyUntil []float64, plans []plan, wake, next float
 			start = math.Max(start, busyUntil[core])
 		}
 		if start >= next {
+			pl.job.Squeezed = true
 			continue // no core frees before the next re-plan
 		}
 		speed := pl.speed
@@ -281,11 +328,17 @@ func execute(pool *sim.Pool, busyUntil []float64, plans []plan, wake, next float
 		// deadline, capped at s_up (the pool caps further; late
 		// completion is recorded as a miss).
 		if slack := pl.job.Task.Deadline - start; slack < pl.job.Remaining/speed {
+			pl.job.Squeezed = true
 			if slack > 0 {
 				speed = pl.job.Remaining / slack
-			}
-			if max := effectiveMax(sys); speed > max {
-				speed = max
+				if max := effectiveMax(sys); speed > max {
+					speed = max
+				}
+			} else {
+				// The start is already at or past the deadline: the miss
+				// is unavoidable, so race at s_up instead of keeping the
+				// stale planned speed and running past the deadline slowly.
+				speed = raceSpeed(pl.job.Remaining, pl.job.Task.Release, pl.job.Task.Deadline, start, sys)
 			}
 		}
 		end := math.Min(start+pl.job.Remaining/speed, next)

@@ -1,0 +1,339 @@
+package online
+
+import (
+	"fmt"
+	"math"
+
+	"sdem/internal/commonrelease"
+	"sdem/internal/power"
+	"sdem/internal/schedule"
+	"sdem/internal/sim"
+	"sdem/internal/task"
+	"sdem/internal/telemetry"
+)
+
+// Runtime is the incremental SDEM-ON engine. Instead of rescanning the
+// pool and re-solving from scratch on every arrival (ScheduleRescan), it
+// maintains:
+//
+//   - an EDF-ordered active set updated by a release cursor over the
+//     release-sorted job list (O(log active) insert, O(active) sweep)
+//     instead of the O(jobs) rescan + sort per arrival;
+//   - a retained commonrelease.Solver whose normalization/scan/audit
+//     scratch persists across re-plans, with an ends-only solve that
+//     skips building and auditing the per-plan solution schedule;
+//   - a plan-delta memo: normalization subtracts the release before any
+//     arithmetic, so a re-plan whose (deadline − now, remaining) bit
+//     pattern exactly matches the previous solve reuses its relative
+//     ends verbatim (periodic workloads hit this every hyperperiod);
+//   - a sleep certificate: when a cheap per-job bound already proves
+//     every planned start lands at or past the next arrival, the solve
+//     is skipped entirely — procrastination would sleep through it.
+//
+// Every path is bit-compatible with ScheduleRescan: the equivalence
+// property tests assert byte-identical sim.Result on fault-free and
+// fault-injected deterministic workloads.
+//
+// A Runtime is not safe for concurrent use, but is reusable: retaining
+// one across Schedule calls (as sdemd does via a sync.Pool) re-plans
+// allocation-free once its buffers reach the high-water instance size.
+type Runtime struct {
+	solver commonrelease.Solver
+
+	byRel     []*sim.Job // release-cursor view, (release, deadline, ID) order
+	active    []*sim.Job // EDF order: (deadline, ID)
+	virtual   task.Set   // common-release instance of the current re-plan
+	vjobs     []*sim.Job // vjobs[i] is the job behind virtual[i]
+	urgent    []*sim.Job
+	plans     []plan
+	busyUntil []float64
+
+	// Plan-delta memo: the (window, workload) bit pattern of the last
+	// solved instance and its relative ends.
+	memoKey  []uint64
+	memoEnds []float64
+	keyBuf   []uint64
+	memoOK   bool
+}
+
+// Schedule runs SDEM-ON over the task set with the incremental engine
+// and returns the audited result, byte-identical to ScheduleRescan.
+func (rt *Runtime) Schedule(tasks task.Set, sys power.System, opts Options) (*sim.Result, error) {
+	pool, err := sim.NewPool(tasks, sys, opts.Cores)
+	if err != nil {
+		return nil, err
+	}
+	who := "sdem-on"
+	if opts.PlanAlphaZero {
+		who = "sdem-on-z"
+	}
+	pool.SetTelemetry(opts.Telemetry, who)
+	return rt.run(pool, opts)
+}
+
+// run drives the arrival loop over a freshly created pool.
+func (rt *Runtime) run(pool *sim.Pool, opts Options) (*sim.Result, error) {
+	rt.reset()
+	arrivals := pool.ArrivalTimes()
+	rt.byRel = pool.JobsByRelease(rt.byRel[:0])
+	if cap(rt.busyUntil) < pool.Cores() {
+		//lint:allow hotalloc: the per-core backing grows to the high-water core count once per Runtime
+		rt.busyUntil = make([]float64, pool.Cores())
+	}
+	busy := rt.busyUntil[:pool.Cores()]
+	for i := range busy {
+		busy[i] = 0
+	}
+	cursor := 0
+	for k, now := range arrivals {
+		// Cooperative cancellation checkpoint, once per arrival: the
+		// per-arrival re-plan below is the expensive unit of work.
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("online: cancelled at arrival %d of %d: %w", k, len(arrivals), err)
+			}
+		}
+		next := math.Inf(1)
+		if k+1 < len(arrivals) {
+			next = arrivals[k+1]
+		}
+		// Admit newly released jobs into the EDF active set; Released's
+		// predicate is release ≤ now + Tol, which is prefix-closed over
+		// the release-sorted view, so a cursor replaces the rescan.
+		for cursor < len(rt.byRel) && rt.byRel[cursor].Task.Release <= now+schedule.Tol {
+			j := rt.byRel[cursor]
+			cursor++
+			if !j.Done {
+				rt.insertActive(j)
+			}
+		}
+		rt.sweepDone()
+		if len(rt.active) == 0 {
+			continue
+		}
+		if err := rt.step(pool, busy, now, next, opts); err != nil {
+			return nil, err
+		}
+	}
+	return pool.Finish()
+}
+
+// reset clears all per-run state while keeping the backing buffers.
+func (rt *Runtime) reset() {
+	rt.active = rt.active[:0]
+	rt.virtual = rt.virtual[:0]
+	rt.vjobs = rt.vjobs[:0]
+	rt.urgent = rt.urgent[:0]
+	rt.plans = rt.plans[:0]
+	rt.memoOK = false
+}
+
+// insertActive inserts j into the (deadline, ID)-ordered active set.
+// The key is a total order (IDs are unique), so the resulting sequence
+// is exactly what Released's stable EDF sort produces.
+func (rt *Runtime) insertActive(j *sim.Job) {
+	lo, hi := 0, len(rt.active)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		a := rt.active[mid]
+		//lint:allow floatcmp: order tie-breaking must be exact to keep the comparator transitive
+		if a.Task.Deadline < j.Task.Deadline ||
+			//lint:allow floatcmp: see above
+			(a.Task.Deadline == j.Task.Deadline && a.Task.ID < j.Task.ID) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	//lint:allow hotalloc: appends into the reused active backing; it grows only to the run's high-water active count
+	rt.active = append(rt.active, nil)
+	copy(rt.active[lo+1:], rt.active[lo:])
+	rt.active[lo] = j
+}
+
+// sweepDone drops completed jobs from the active set in place.
+func (rt *Runtime) sweepDone() {
+	w := 0
+	for _, j := range rt.active {
+		if !j.Done {
+			rt.active[w] = j
+			w++
+		}
+	}
+	for i := w; i < len(rt.active); i++ {
+		rt.active[i] = nil
+	}
+	rt.active = rt.active[:w]
+}
+
+// step re-plans the active set at now and executes until next. It is the
+// incremental counterpart of the legacy step + PlanAt pair and mirrors
+// their float evaluation order exactly.
+//
+//sdem:hotpath
+func (rt *Runtime) step(pool runner, busy []float64, now, next float64, opts Options) error {
+	tel := opts.Telemetry
+	tel.Count("sdem.solver.online.plans", 1)
+	tel.Observe("sdem.solver.online.active_jobs", float64(len(rt.active)))
+	sys := pool.System()
+	planSys := sys
+	if opts.PlanAlphaZero {
+		planSys.Core.Static = 0
+		planSys.Core.BreakEven = 0
+	}
+	rt.virtual = rt.virtual[:0]
+	rt.vjobs = rt.vjobs[:0]
+	rt.urgent = rt.urgent[:0]
+	for _, j := range rt.active {
+		window := j.Task.Deadline - now
+		if window <= 0 || (sys.Core.SpeedMax > 0 && j.Remaining/window > sys.Core.SpeedMax) {
+			// Already beyond salvation at a stretched speed: race
+			// immediately; the pool records the miss if it is one.
+			//lint:allow hotalloc: appends into the reused urgent backing; it grows only to the run's high-water urgent count
+			rt.urgent = append(rt.urgent, j)
+			continue
+		}
+		//lint:allow hotalloc: appends into the reused virtual/vjobs backings
+		rt.virtual = append(rt.virtual, task.Task{
+			ID:       j.Task.ID,
+			Release:  now,
+			Deadline: j.Task.Deadline,
+			Workload: j.Remaining,
+		})
+		rt.vjobs = append(rt.vjobs, j)
+	}
+
+	if len(rt.urgent) == 0 && !opts.NoProcrastinate && rt.certifySleep(now, next, sys, planSys) {
+		// The certificate proves the legacy path would compute
+		// wake ≥ next and execute nothing: sleep through to the next
+		// arrival without solving.
+		tel.Count("sdem.solver.online.skipped_solves", 1)
+		return nil
+	}
+
+	plans := rt.plans[:0]
+	wake := math.Inf(1)
+	if len(rt.virtual) > 0 {
+		ends, err := rt.planEnds(now, planSys, tel)
+		if err != nil {
+			return err
+		}
+		for i, vt := range rt.virtual {
+			// Replay the legacy build + Normalize + ends-map extraction
+			// bit-for-bit: the task's segment is [now, now+endRel], kept
+			// only when its float duration exceeds Tol/10, and a task
+			// with no kept segment reads 0 from the ends map.
+			var endAbs float64
+			if endRel := ends[i]; endRel > 0 {
+				if abs := now + endRel; abs-now > schedule.Tol/10 {
+					endAbs = abs
+				}
+			}
+			p := endAbs - now
+			if p <= 0 { // defensive: plan must give every task time
+				p = vt.Workload / raceSpeed(vt.Workload, vt.Release, vt.Deadline, now, sys)
+			}
+			//lint:allow hotalloc: appends into the reused plans backing
+			plans = append(plans, plan{job: rt.vjobs[i], p: p, speed: vt.Workload / p})
+			wake = math.Min(wake, vt.Deadline-p)
+		}
+	}
+	for _, j := range rt.urgent {
+		s := raceSpeed(j.Remaining, j.Task.Release, j.Task.Deadline, now, sys)
+		//lint:allow hotalloc: appends into the reused plans backing
+		plans = append(plans, plan{job: j, p: j.Remaining / s, speed: s})
+		wake = now
+	}
+	rt.plans = plans
+	tel.Count("sdem.solver.online.urgent_jobs", int64(len(rt.urgent)))
+	if wake < now {
+		wake = now
+	}
+	if tel != nil && !math.IsInf(wake, 1) {
+		tel.Observe("sdem.solver.online.procrastination_s", wake-now)
+		tel.Instant("plan", "online", now, 0,
+			telemetry.Int("active", int64(len(rt.active))),
+			telemetry.Int("urgent", int64(len(rt.urgent))),
+			telemetry.Num("wake", wake))
+	}
+	if opts.NoProcrastinate {
+		wake = now
+	}
+	if wake >= next {
+		return nil // keep sleeping; the next arrival re-plans
+	}
+	return execute(pool, busy, plans, wake, next)
+}
+
+// certifySleep reports whether, without solving, every planned start is
+// provably at or past next, so the legacy planner would execute nothing
+// before the next arrival. Soundness: any plan's execution time p is
+// either (now + endRel) − now for some endRel ≤ max natural completion
+// (the busy length never exceeds it, and float addition/subtraction of a
+// constant is monotone), or — when the segment rounds away — exactly the
+// defensive race value, which is recomputed here per job. Both wake
+// bounds must clear next. The caller has already excluded urgent jobs
+// and NoProcrastinate.
+func (rt *Runtime) certifySleep(now, next float64, sys, planSys power.System) bool {
+	if math.IsInf(next, 1) || len(rt.virtual) == 0 {
+		return false
+	}
+	var horizon float64
+	for _, vt := range rt.virtual {
+		horizon = math.Max(horizon, vt.Deadline-vt.Release)
+	}
+	var cmax float64
+	for _, vt := range rt.virtual {
+		cmax = math.Max(cmax, commonrelease.NaturalCompletion(vt, planSys, horizon))
+	}
+	bound := (now + cmax) - now // ≥ any solved plan's p
+	for _, vt := range rt.virtual {
+		if vt.Deadline-bound < next {
+			return false
+		}
+		pDef := vt.Workload / raceSpeed(vt.Workload, vt.Release, vt.Deadline, now, sys)
+		if vt.Deadline-pDef < next {
+			return false
+		}
+	}
+	return true
+}
+
+// planEnds returns the relative completion ends of the current virtual
+// instance, reusing the previous solve when the instance's (window,
+// workload) bit pattern is unchanged. Normalization subtracts the
+// release before any arithmetic, so an exact key match guarantees
+// bit-identical ends at any absolute time — the memo compares the full
+// key, never a hash, to rule out collisions.
+func (rt *Runtime) planEnds(now float64, planSys power.System, tel *telemetry.Recorder) ([]float64, error) {
+	key := rt.keyBuf[:0]
+	for _, vt := range rt.virtual {
+		//lint:allow hotalloc: appends into the reused key backing
+		key = append(key, math.Float64bits(vt.Deadline-vt.Release), math.Float64bits(vt.Workload))
+	}
+	rt.keyBuf = key
+	if rt.memoOK && len(key) == len(rt.memoKey) {
+		same := true
+		for i := range key {
+			if key[i] != rt.memoKey[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			tel.Count("sdem.solver.online.plan_reuse", 1)
+			return rt.memoEnds, nil
+		}
+	}
+	ends, err := rt.solver.PlanEndsRel(rt.virtual, planSys, tel)
+	if err != nil {
+		rt.memoOK = false
+		return nil, fmt.Errorf("online: planning at t=%g: %w", now, err)
+	}
+	//lint:allow hotalloc: appends into the reused memo backings
+	rt.memoKey = append(rt.memoKey[:0], key...)
+	//lint:allow hotalloc: appends into the reused memo backings
+	rt.memoEnds = append(rt.memoEnds[:0], ends...)
+	rt.memoOK = true
+	return rt.memoEnds, nil
+}

@@ -1,0 +1,257 @@
+package online
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math"
+
+	"sdem/internal/faults"
+	"sdem/internal/power"
+	"sdem/internal/schedule"
+	"sdem/internal/sim"
+	"sdem/internal/task"
+	"sdem/internal/telemetry"
+	"sdem/internal/workload"
+)
+
+// StreamOptions tunes a streaming SDEM-ON run.
+type StreamOptions struct {
+	// Cores is the physical core count (required, > 0).
+	Cores int
+	// MaxVirtual stops admitting new arrivals once the stream has
+	// advanced that many seconds of virtual time past the first release
+	// (0 = no bound; the source must then be finite).
+	MaxVirtual float64
+	// MaxJobs stops admitting after that many arrivals (0 = no bound).
+	MaxJobs int64
+	// Faults, when non-nil, perturbs each arriving job (workload
+	// overruns, late releases) and classifies the resulting misses.
+	Faults *faults.Streamer
+	// NoProcrastinate and PlanAlphaZero select the engine variants of
+	// Options.
+	NoProcrastinate bool
+	PlanAlphaZero   bool
+	// Telemetry, when non-nil, records the same sdem.solver.online.* and
+	// sdem.sim.* series as the batch engine, plus
+	// sdem.solver.online.stream_virtual_s (a gauge of progress a live
+	// scrape can watch).
+	Telemetry *telemetry.Recorder
+	// Ctx, when non-nil, is polled at every arrival boundary.
+	Ctx context.Context
+}
+
+// arrivalHeap reorders perturbed arrivals by (release, ID): a late-release
+// fault can push a job past later upstream arrivals, and the engine must
+// still admit in time order. Delays are bounded by each job's window, so
+// the heap stays as small as the overlap — O(active), never O(stream).
+type arrivalHeap []taskArrival
+
+type taskArrival struct {
+	t task.Task
+}
+
+func (h arrivalHeap) Len() int { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool {
+	//lint:allow floatcmp: heap ordering must be exact to stay deterministic
+	if h[i].t.Release != h[j].t.Release {
+		return h[i].t.Release < h[j].t.Release
+	}
+	return h[i].t.ID < h[j].t.ID
+}
+func (h arrivalHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x any)   { *h = append(*h, x.(taskArrival)) }
+func (h *arrivalHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// ScheduleStream runs the incremental SDEM-ON engine over an unbounded
+// arrival source in O(active-set) memory: jobs are admitted from the
+// source one arrival at a time, planned with the same per-arrival
+// machinery as Schedule, executed into a sim.Stream whose meter accounts
+// energy incrementally, and retired on completion. This is the soak
+// engine — days of virtual time under fault injection with live
+// telemetry, no materialized task set or schedule.
+func ScheduleStream(src workload.Source, sys power.System, opts StreamOptions) (*sim.StreamSummary, error) {
+	var rt Runtime
+	return rt.RunStream(src, sys, opts)
+}
+
+// RunStream is ScheduleStream on a retained Runtime (see Schedule vs
+// Runtime.Schedule).
+func (rt *Runtime) RunStream(src workload.Source, sys power.System, opts StreamOptions) (*sim.StreamSummary, error) {
+	st, err := sim.NewStream(sys, opts.Cores)
+	if err != nil {
+		return nil, err
+	}
+	who := "sdem-on"
+	if opts.PlanAlphaZero {
+		who = "sdem-on-z"
+	}
+	tel := opts.Telemetry
+	st.SetTelemetry(tel, who)
+	// A miss is explained when the job itself was perturbed (replayed
+	// from its deterministic fault draw) or when the executor squeezed it
+	// behind a full machine — a queueing consequence of overload bursts
+	// or of perturbed jobs hogging cores, possibly chained through clean
+	// jobs that absorbed the delay. A sporadic source over enough virtual
+	// time will overload any finite machine occasionally, so squeezed
+	// misses are expected physics, not bugs. A miss on an undisturbed,
+	// never-squeezed job means the planner itself scheduled it wrong: an
+	// engine bug, and the soak gate fails on it.
+	fs := opts.Faults
+	st.SetMissClassifier(func(j *sim.Job) bool {
+		if j.Squeezed {
+			return true
+		}
+		return fs != nil && !fs.Sample(j.Task).None()
+	})
+
+	rt.reset()
+	if cap(rt.busyUntil) < opts.Cores {
+		rt.busyUntil = make([]float64, opts.Cores)
+	}
+	busy := rt.busyUntil[:opts.Cores]
+	for i := range busy {
+		busy[i] = 0
+	}
+
+	stepOpts := Options{
+		Cores:           opts.Cores,
+		NoProcrastinate: opts.NoProcrastinate,
+		PlanAlphaZero:   opts.PlanAlphaZero,
+		Telemetry:       tel,
+	}
+
+	var (
+		pending   arrivalHeap
+		upstream  task.Task
+		hasUp     bool
+		drawn     int64
+		started   bool
+		first     float64
+		maxDL     float64
+		exhausted bool
+		arrival   int64
+	)
+	perturb := func(t task.Task) taskArrival {
+		if opts.Faults == nil {
+			return taskArrival{t: t}
+		}
+		f := opts.Faults.Sample(t)
+		if f.None() {
+			return taskArrival{t: t}
+		}
+		t.Workload *= f.WorkFactor
+		t.Release += f.ReleaseDelay
+		if t.Release >= t.Deadline {
+			// Keep the job admissible (Validate rejects an empty window
+			// with work): a sliver-window arrival still exercises the
+			// urgent path and counts as an explained miss.
+			t.Release = t.Deadline - schedule.Tol
+		}
+		return taskArrival{t: t}
+	}
+	pull := func() {
+		if exhausted {
+			return
+		}
+		t, ok := src.Next()
+		if !ok {
+			exhausted = true
+			hasUp = false
+			return
+		}
+		upstream, hasUp = t, true
+	}
+	admissionOver := func(rel float64) bool {
+		if opts.MaxJobs > 0 && drawn >= opts.MaxJobs {
+			return true
+		}
+		return started && opts.MaxVirtual > 0 && rel-first > opts.MaxVirtual
+	}
+
+	pull()
+	for {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("online: stream cancelled at arrival %d: %w", arrival, err)
+			}
+		}
+		// Feed the reorder heap until its minimum is safe to emit: once
+		// the upstream release passes the heap minimum, no future task —
+		// delays are non-negative — can arrive earlier.
+		for hasUp && (len(pending) == 0 || upstream.Release <= pending[0].t.Release) {
+			if admissionOver(upstream.Release) {
+				hasUp = false
+				exhausted = true
+				break
+			}
+			heap.Push(&pending, perturb(upstream))
+			drawn++
+			pull()
+		}
+		if len(pending) == 0 && st.Active() == 0 {
+			break // drained: no arrivals left and nothing running
+		}
+
+		// The next planning instant: the earliest pending arrival, or a
+		// final drain pass over whatever is still active.
+		now := math.Inf(1)
+		if len(pending) > 0 {
+			now = pending[0].t.Release
+		} else {
+			now = st.Now()
+		}
+		for len(pending) > 0 && pending[0].t.Release <= now+schedule.Tol {
+			a := heap.Pop(&pending).(taskArrival)
+			j, err := st.Admit(a.t)
+			if err != nil {
+				return nil, fmt.Errorf("online: admitting task %d: %w", a.t.ID, err)
+			}
+			arrival++
+			if !started {
+				started = true
+				first = a.t.Release
+			}
+			if a.t.Deadline > maxDL {
+				maxDL = a.t.Deadline
+			}
+			if !j.Done {
+				rt.insertActive(j)
+			}
+		}
+		next := math.Inf(1)
+		if len(pending) > 0 {
+			next = pending[0].t.Release
+		} else if hasUp {
+			next = upstream.Release
+		}
+		rt.sweepDone()
+		if len(rt.active) > 0 {
+			if err := rt.step(st, busy, now, next, stepOpts); err != nil {
+				return nil, err
+			}
+			rt.sweepDone()
+		}
+		st.Seal(next)
+		if tel != nil {
+			tel.Gauge("sdem.solver.online.stream_virtual_s", st.Now()-first)
+		}
+		if math.IsInf(next, 1) && len(rt.active) > 0 {
+			// Final drain executed everything plannable; anything still
+			// active is unschedulable (zero window at +Inf horizon) and
+			// retires as a miss in Finish.
+			break
+		}
+		if math.IsInf(next, 1) && len(pending) == 0 && !hasUp && st.Active() == 0 {
+			break
+		}
+	}
+	end := math.Max(maxDL, st.Now())
+	return st.Finish(end), nil
+}

@@ -1,0 +1,127 @@
+package online
+
+import (
+	"math"
+	"testing"
+
+	"sdem/internal/faults"
+	"sdem/internal/power"
+	"sdem/internal/telemetry"
+	"sdem/internal/workload"
+)
+
+// TestScheduleStreamMatchesBatch drives the streaming engine over the
+// same instance sequence as the batch engine — SporadicStream with the
+// same seed draws the exact same tasks as Synthetic, minus names — and
+// requires the same completions and misses, with metered energy within
+// float summation-order slack of the audited energy.
+func TestScheduleStreamMatchesBatch(t *testing.T) {
+	sys := power.DefaultSystem()
+	for seed := int64(1); seed <= 4; seed++ {
+		cfg := workload.SyntheticConfig{N: 60, MaxInterArrival: power.Milliseconds(80)}
+		tasks, err := workload.Synthetic(cfg, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range tasks {
+			tasks[i].Name = "" // SporadicStream leaves names empty
+		}
+		src, err := workload.SporadicStream(cfg, seed, int64(len(tasks)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := Schedule(tasks, sys, Options{Cores: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := ScheduleStream(src, sys, StreamOptions{Cores: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := int(sum.Completed)+int(sum.UnexplainedMisses()), len(tasks); sum.Admitted != int64(len(tasks)) {
+			t.Fatalf("seed %d: admitted %d of %d (completed %d, got %d)", seed, sum.Admitted, len(tasks), sum.Completed, got-want)
+		}
+		if int(sum.Misses) != len(batch.Misses) {
+			t.Errorf("seed %d: stream missed %d, batch missed %d", seed, sum.Misses, len(batch.Misses))
+		}
+		if rel := math.Abs(sum.Energy-batch.Energy) / batch.Energy; rel > 1e-9 {
+			t.Errorf("seed %d: stream energy %g vs batch %g (rel %g)", seed, sum.Energy, batch.Energy, rel)
+		}
+		if sum.Metrics.Completed != batch.Metrics.Completed {
+			t.Errorf("seed %d: stream completed %d, batch %d", seed, sum.Metrics.Completed, batch.Metrics.Completed)
+		}
+		if rel := math.Abs(sum.Metrics.MeanResponse-batch.Metrics.MeanResponse) / math.Max(batch.Metrics.MeanResponse, 1e-12); rel > 1e-9 {
+			t.Errorf("seed %d: mean response %g vs %g", seed, sum.Metrics.MeanResponse, batch.Metrics.MeanResponse)
+		}
+	}
+}
+
+// TestScheduleStreamBounds checks the admission bounds and that memory
+// stays O(active): a long virtual run must keep the peak active set far
+// below the total admitted count.
+func TestScheduleStreamBounds(t *testing.T) {
+	sys := power.DefaultSystem()
+	src, err := workload.SporadicStream(workload.SyntheticConfig{MaxInterArrival: power.Milliseconds(50)}, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ScheduleStream(src, sys, StreamOptions{Cores: 4, MaxJobs: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Admitted != 5000 {
+		t.Errorf("admitted %d, want 5000", sum.Admitted)
+	}
+	if sum.MaxActive > 200 {
+		t.Errorf("peak active set %d — streaming bookkeeping is not O(active)", sum.MaxActive)
+	}
+	if sum.UnexplainedMisses() != 0 {
+		t.Errorf("%d unexplained misses on a fault-free feasible stream", sum.UnexplainedMisses())
+	}
+
+	src, err = workload.SporadicStream(workload.SyntheticConfig{}, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err = ScheduleStream(src, sys, StreamOptions{Cores: 4, MaxVirtual: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean inter-arrival is 200 ms, so one virtual minute admits ~300.
+	if sum.Admitted < 150 || sum.Admitted > 600 {
+		t.Errorf("admitted %d jobs in 60 virtual seconds, want ≈300", sum.Admitted)
+	}
+}
+
+// TestScheduleStreamFaulted soaks the engine under fault injection: all
+// misses must be explained by the injected perturbations, and the run
+// must stay deterministic in the seed.
+func TestScheduleStreamFaulted(t *testing.T) {
+	sys := power.DefaultSystem()
+	run := func() *struct {
+		energy                      float64
+		misses, explained, admitted int64
+	} {
+		src, err := workload.SporadicStream(workload.SyntheticConfig{MaxInterArrival: power.Milliseconds(60)}, 11, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := faults.NewStreamer(faults.Config{Intensity: 0.8}, 23)
+		tel := telemetry.New()
+		sum, err := ScheduleStream(src, sys, StreamOptions{Cores: 4, MaxJobs: 3000, Faults: fs, Telemetry: tel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &struct {
+			energy                      float64
+			misses, explained, admitted int64
+		}{sum.Energy, sum.Misses, sum.ExplainedMisses, sum.Admitted}
+	}
+	a, b := run(), run()
+	if *a != *b {
+		t.Errorf("fault-injected stream not deterministic: %+v vs %+v", a, b)
+	}
+	if a.misses != a.explained {
+		t.Errorf("%d of %d misses unexplained under fault injection", a.misses-a.explained, a.misses)
+	}
+}

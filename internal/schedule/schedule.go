@@ -384,6 +384,15 @@ func (p SleepPolicy) Sleeps(g, alpha, xi float64) bool {
 	return slept > 0
 }
 
+// GapEnergy returns the total energy (static + transition) the audit
+// charges for one idle gap of length g under policy p — the closed-form
+// solvers use it to price candidate idle tails without building a
+// schedule.
+func (p SleepPolicy) GapEnergy(g, alpha, xi float64) float64 {
+	st, tr, _, _ := gapCost(g, alpha, xi, p)
+	return st + tr
+}
+
 // gapCost charges one idle gap of length g for a component with static
 // power alpha and break-even time xi under the given policy. It returns
 // static energy, transition energy, slept seconds and whether a sleep

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 
 	"sdem/internal/baseline"
 	"sdem/internal/core"
@@ -273,6 +274,18 @@ func (s *Server) handleSimulate(rc *requestCtx, w http.ResponseWriter, r *http.R
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// runtimes recycles online.Runtime scratch (active set, plan memo, busy
+// vector) across requests: concurrent handlers each check out a private
+// Runtime, so the retained solver arenas amortize without contention.
+var runtimes = sync.Pool{New: func() any { return new(online.Runtime) }}
+
+// scheduleOnline is online.Schedule on pooled Runtime scratch.
+func scheduleOnline(tasks task.Set, sys power.System, opts online.Options) (*sim.Result, error) {
+	rt := runtimes.Get().(*online.Runtime)
+	defer runtimes.Put(rt)
+	return rt.Schedule(tasks, sys, opts)
+}
+
 // simulateOne runs one online policy on the given recorder; shared by
 // /v1/simulate and /v1/batch.
 func (s *Server) simulateOne(ctx context.Context, tel *telemetry.Recorder, req *TaskRequest, id string) (*TaskResponse, int, error) {
@@ -302,7 +315,7 @@ func (s *Server) simulateOne(ctx context.Context, tel *telemetry.Recorder, req *
 		)
 		switch sched {
 		case "sdem-on":
-			res, err = online.Schedule(req.Tasks, sys, online.Options{Cores: cores, Telemetry: tel, Ctx: ctx})
+			res, err = scheduleOnline(req.Tasks, sys, online.Options{Cores: cores, Telemetry: tel, Ctx: ctx})
 		case "mbkp":
 			res, err = baseline.MBKPTel(req.Tasks, sys, cores, tel)
 		case "mbkps":
@@ -410,7 +423,7 @@ func (s *Server) planSchedule(ctx context.Context, tel *telemetry.Recorder, req 
 	if !errors.As(err, &general) {
 		return nil, "", errorCode(err), err
 	}
-	res, err := online.Schedule(req.Tasks, sys, online.Options{Cores: sys.Cores, Telemetry: tel, Ctx: ctx})
+	res, err := scheduleOnline(req.Tasks, sys, online.Options{Cores: sys.Cores, Telemetry: tel, Ctx: ctx})
 	if err != nil {
 		return nil, "", errorCode(err), err
 	}

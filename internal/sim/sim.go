@@ -24,6 +24,12 @@ import (
 // counts as complete.
 const workTol = 1e-9
 
+// gridTol, scaled by speed·|t|, is the work the float time lattice cannot
+// resolve at coordinate t (a few ULPs, ≈ 4.5 × 2.2e-16): runSegment folds
+// it into the completion tolerance so rounded segment arithmetic at large
+// virtual times cannot strand a job with an unschedulable leftover.
+const gridTol = 1e-15
+
 // Job is a task instance being executed online.
 type Job struct {
 	Task task.Task
@@ -36,6 +42,11 @@ type Job struct {
 	Done bool
 	// Completed is the completion time (meaningful once Done).
 	Completed float64
+	// Squeezed records that queueing delay forced the executor to defer
+	// this job past a re-plan or compress/race it after a late start: a
+	// subsequent miss is queueing-induced (cores full), not a planning
+	// error. The soak harness uses it to classify misses.
+	Squeezed bool
 	// missed marks that some segment finished past the deadline or the
 	// job could not complete at all.
 	missed bool
@@ -232,6 +243,18 @@ func (s *jobsEDF) Less(a, b int) bool {
 }
 func (s *jobsEDF) Swap(a, b int) { (*s)[a], (*s)[b] = (*s)[b], (*s)[a] }
 
+// JobsByRelease appends the run's jobs in (release, deadline, ID) order —
+// the order Released scans — to buf and returns it. The incremental
+// online engine walks this once with a release cursor instead of
+// rescanning the pool on every arrival. The order reflects the releases
+// at pool creation; DelayRelease does not re-sort it.
+func (p *Pool) JobsByRelease(buf []*Job) []*Job {
+	for _, id := range p.order {
+		buf = append(buf, p.jobs[id])
+	}
+	return buf
+}
+
 // Released returns the unfinished jobs with release ≤ t, by deadline
 // order (EDF). The result is freshly allocated — callers hold it across
 // a planning step — but sized up front so the append loop never regrows.
@@ -270,22 +293,52 @@ func (p *Pool) Run(taskID, core int, t0, t1, speed float64) (float64, error) {
 	case j.Core >= 0 && j.Core != core:
 		return 0, fmt.Errorf("sim: task %d would migrate from core %d to %d", taskID, j.Core, core)
 	}
-	if p.sys.Core.SpeedMax > 0 && speed > p.sys.Core.SpeedMax {
-		speed = p.sys.Core.SpeedMax // silently cap: the miss detector judges the result
+	t1, speed, capped, throttled := runSegment(j, p.sys, p.limiter, core, t0, t1, speed)
+	if capped {
 		p.tel.CountL("sdem.sim.speed_caps", p.telLabel, 1)
 	}
-	if p.limiter != nil {
-		if eff := p.limiter(core, t0, t1, speed); eff > 0 && eff < speed {
+	if throttled {
+		p.tel.CountL("sdem.sim.throttles", p.telLabel, 1)
+	}
+	p.sched.Add(core, schedule.Segment{TaskID: taskID, Start: t0, End: t1, Speed: speed})
+	p.tel.CountL("sdem.sim.segments", p.telLabel, 1)
+	p.tel.ObserveL("sdem.sim.segment_s", p.telLabel, t1-t0)
+	if t1 > p.now {
+		p.now = t1
+	}
+	return t1, nil
+}
+
+// runSegment is the execution core shared by Pool.Run and Stream.Run:
+// it caps the commanded speed at s_up, applies the limiter, executes
+// work, detects completion — preserving the caller's end time when it is
+// the exact completion point up to Tol, so replaying a planned segment
+// reproduces it bit-for-bit — and flags deadline misses. It returns the
+// actual segment end and speed plus whether the speed was capped or
+// throttled (for telemetry).
+//
+//sdem:hotpath
+func runSegment(j *Job, sys power.System, limiter SpeedLimiter, core int, t0, t1, speed float64) (end, actual float64, capped, throttled bool) {
+	if sys.Core.SpeedMax > 0 && speed > sys.Core.SpeedMax {
+		speed = sys.Core.SpeedMax // silently cap: the miss detector judges the result
+		capped = true
+	}
+	if limiter != nil {
+		if eff := limiter(core, t0, t1, speed); eff > 0 && eff < speed {
 			speed = eff // the achieved speed is what the audit charges
-			p.tel.CountL("sdem.sim.throttles", p.telLabel, 1)
+			throttled = true
 		}
 	}
 	j.Core = core
 	work := speed * (t1 - t0)
-	if work >= j.Remaining-workTol*math.Max(1, j.Task.Workload) {
-		// Keep the caller's end time when it already is the exact
-		// completion point up to Tol, so replaying a planned segment
-		// reproduces it bit-for-bit; otherwise shorten to the completion.
+	// The float time lattice cannot represent durations below one ULP of
+	// the coordinate, so at large virtual times a truncated segment can
+	// strand a leftover of up to a few ULPs' worth of work (speed·ulp(t1)):
+	// any follow-up segment short enough to carry it rounds to zero length
+	// and is never executable. Fold that grid quantum into the completion
+	// tolerance so the leftover completes here, on the segment that made it.
+	gridSlack := speed * math.Abs(t1) * gridTol
+	if work >= j.Remaining-workTol*math.Max(1, j.Task.Workload)-gridSlack {
 		if exact := t0 + j.Remaining/speed; math.Abs(exact-t1) > schedule.Tol {
 			t1 = exact
 		}
@@ -297,13 +350,7 @@ func (p *Pool) Run(taskID, core int, t0, t1, speed float64) (float64, error) {
 	if j.Done && t1 > j.Task.Deadline+schedule.Tol {
 		j.missed = true
 	}
-	p.sched.Add(core, schedule.Segment{TaskID: taskID, Start: t0, End: t1, Speed: speed})
-	p.tel.CountL("sdem.sim.segments", p.telLabel, 1)
-	p.tel.ObserveL("sdem.sim.segment_s", p.telLabel, t1-t0)
-	if t1 > p.now {
-		p.now = t1
-	}
-	return t1, nil
+	return t1, speed, capped, throttled
 }
 
 // Metrics summarizes the timeliness of an online run.

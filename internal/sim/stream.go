@@ -1,0 +1,282 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"sdem/internal/numeric"
+	"sdem/internal/power"
+	"sdem/internal/schedule"
+	"sdem/internal/task"
+	"sdem/internal/telemetry"
+)
+
+// missSampleCap bounds the per-run sample of miss details kept by a
+// Stream; counts past the cap are still accumulated.
+const missSampleCap = 64
+
+// Stream is the O(active)-memory counterpart of Pool for unbounded runs:
+// jobs are admitted as they arrive, executed through the same segment
+// machinery (runSegment), and retired as soon as they complete, with
+// energy accounted incrementally by a schedule.Meter instead of an
+// assembled schedule. Days of virtual time run in memory proportional to
+// the peak active set, not to the total jobs or segments.
+//
+// The zero value is not usable; call NewStream. A Stream is not safe for
+// concurrent use.
+type Stream struct {
+	sys     power.System
+	cores   int
+	jobs    map[int]*Job // active jobs only
+	free    []*Job       // retired job recycling
+	meter   *schedule.Meter
+	limiter SpeedLimiter
+	now     float64
+	started bool
+	start   float64
+
+	tel      *telemetry.Recorder
+	telLabel string
+
+	// classify, when non-nil, reports whether a missed job's miss is
+	// explained by an injected perturbation (the soak harness installs a
+	// fault-sampler closure); unexplained misses indicate engine bugs.
+	classify func(*Job) bool
+
+	admitted, completed     int64
+	missed, explainedMisses int64
+	maxActive               int
+	missSample              []schedule.Miss
+	sumResp, maxResp        float64
+	sumLax                  float64
+}
+
+// StreamSummary is the outcome of a streaming run: the Pool Result's
+// aggregates without the O(jobs) schedule and per-miss slices.
+type StreamSummary struct {
+	// Admitted and Completed count jobs with non-zero workload.
+	Admitted, Completed int64
+	// Misses counts late or unfinished jobs; ExplainedMisses of those
+	// were attributed to injected faults by the classifier (equal to
+	// Misses when no classifier is installed and misses are expected).
+	Misses, ExplainedMisses int64
+	// MissSample holds details of the first missSampleCap misses.
+	MissSample []schedule.Miss
+	// Energy is the metered total; Breakdown itemizes it.
+	Energy    float64
+	Breakdown schedule.Breakdown
+	// Metrics summarizes response times over completed jobs.
+	Metrics Metrics
+	// Start and End delimit the metered virtual-time horizon.
+	Start, End float64
+	// MaxActive is the peak concurrently-active job count.
+	MaxActive int
+}
+
+// UnexplainedMisses returns the misses the classifier could not
+// attribute to an injected perturbation.
+func (s *StreamSummary) UnexplainedMisses() int64 { return s.Misses - s.ExplainedMisses }
+
+// NewStream prepares a streaming run on cores physical cores. Energy is
+// metered under the SleepBreakEven policies (the SDEM convention).
+func NewStream(sys power.System, cores int) (*Stream, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if cores <= 0 {
+		return nil, fmt.Errorf("sim: streaming run needs an explicit core count, got %d", cores)
+	}
+	return &Stream{
+		sys:   sys,
+		cores: cores,
+		jobs:  make(map[int]*Job, 64),
+	}, nil
+}
+
+// System returns the platform model.
+func (s *Stream) System() power.System { return s.sys }
+
+// Cores returns the physical core count of the run.
+func (s *Stream) Cores() int { return s.cores }
+
+// Now returns the latest time any segment has been emitted up to.
+func (s *Stream) Now() float64 { return s.now }
+
+// Active returns the number of admitted, unfinished jobs.
+func (s *Stream) Active() int { return len(s.jobs) }
+
+// Job returns the active job of the given task ID, or nil once it has
+// been retired (completed jobs are not retained).
+func (s *Stream) Job(id int) *Job { return s.jobs[id] }
+
+// SetTelemetry attaches a telemetry recorder; who names the policy
+// driving the stream (the "sched" label on every sdem.sim.* metric).
+func (s *Stream) SetTelemetry(tel *telemetry.Recorder, who string) {
+	s.tel = tel
+	s.telLabel = ""
+	if who != "" {
+		s.telLabel = "sched=" + who
+	}
+}
+
+// SetSpeedLimiter installs an execution-time speed perturbation applied
+// to every subsequent Run. A nil limiter removes it.
+func (s *Stream) SetSpeedLimiter(f SpeedLimiter) { s.limiter = f }
+
+// SetMissClassifier installs the explained-miss predicate (see the
+// classify field). It must be set before the first miss retires.
+func (s *Stream) SetMissClassifier(f func(*Job) bool) { s.classify = f }
+
+// Admit registers a newly arrived task instance. The meter's horizon
+// opens at the first admitted release. A zero-workload task completes
+// (and retires) immediately, like Pool's construction does.
+func (s *Stream) Admit(t task.Task) (*Job, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if _, dup := s.jobs[t.ID]; dup {
+		return nil, fmt.Errorf("sim: duplicate active task ID %d", t.ID)
+	}
+	if !s.started {
+		s.started = true
+		s.start = t.Release
+		s.now = t.Release
+		s.meter = schedule.NewMeter(s.cores, t.Release, s.sys, schedule.SleepBreakEven, schedule.SleepBreakEven)
+	}
+	var j *Job
+	if n := len(s.free); n > 0 {
+		j = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		//lint:allow hotalloc: jobs are recycled; allocation happens only while the active set grows to its high-water size
+		j = &Job{}
+	}
+	*j = Job{Task: t, Remaining: t.Workload, Core: -1, Done: numeric.IsZero(t.Workload, 0)}
+	if j.Done {
+		s.free = append(s.free, j)
+		return j, nil
+	}
+	s.jobs[t.ID] = j
+	s.admitted++
+	if len(s.jobs) > s.maxActive {
+		s.maxActive = len(s.jobs)
+	}
+	return j, nil
+}
+
+// Run executes the job on the given core from t0 to t1 at the given
+// speed — the same semantics and validations as Pool.Run, with the
+// segment metered instead of recorded, and completed jobs retired.
+//
+//sdem:hotpath
+func (s *Stream) Run(taskID, core int, t0, t1, speed float64) (float64, error) {
+	j, ok := s.jobs[taskID]
+	switch {
+	case !ok:
+		return 0, fmt.Errorf("sim: unknown or already complete task %d", taskID)
+	case t1 <= t0 || speed <= 0:
+		return 0, fmt.Errorf("sim: bad segment [%g,%g] speed %g for task %d", t0, t1, speed, taskID)
+	case t0 < j.Task.Release-schedule.Tol:
+		return 0, fmt.Errorf("sim: task %d started at %g before release %g", taskID, t0, j.Task.Release)
+	case core < 0 || core >= s.cores:
+		return 0, fmt.Errorf("sim: core %d out of range", core)
+	case j.Core >= 0 && j.Core != core:
+		return 0, fmt.Errorf("sim: task %d would migrate from core %d to %d", taskID, j.Core, core)
+	}
+	t1, speed, capped, throttled := runSegment(j, s.sys, s.limiter, core, t0, t1, speed)
+	if capped {
+		s.tel.CountL("sdem.sim.speed_caps", s.telLabel, 1)
+	}
+	if throttled {
+		s.tel.CountL("sdem.sim.throttles", s.telLabel, 1)
+	}
+	if err := s.meter.Add(core, schedule.Segment{TaskID: taskID, Start: t0, End: t1, Speed: speed}); err != nil {
+		return 0, err
+	}
+	s.tel.CountL("sdem.sim.segments", s.telLabel, 1)
+	s.tel.ObserveL("sdem.sim.segment_s", s.telLabel, t1-t0)
+	if t1 > s.now {
+		s.now = t1
+	}
+	if j.Done {
+		s.retire(j)
+	}
+	return t1, nil
+}
+
+// Seal forwards a planning-batch boundary to the meter: no future
+// segment will start before next.
+func (s *Stream) Seal(next float64) {
+	if s.meter != nil {
+		s.meter.Seal(next)
+	}
+}
+
+// retire accumulates a finished job's metrics and recycles it.
+func (s *Stream) retire(j *Job) {
+	delete(s.jobs, j.Task.ID)
+	s.completed++
+	resp := j.Completed - j.Task.Release
+	s.sumResp += resp
+	s.maxResp = math.Max(s.maxResp, resp)
+	s.sumLax += j.Task.Deadline - j.Completed
+	if j.missed {
+		s.recordMiss(j, schedule.Miss{
+			TaskID:      j.Task.ID,
+			Deadline:    j.Task.Deadline,
+			CompletedAt: j.Completed,
+			Lateness:    j.Completed - j.Task.Deadline,
+		})
+	}
+	s.free = append(s.free, j)
+}
+
+func (s *Stream) recordMiss(j *Job, m schedule.Miss) {
+	s.missed++
+	if s.classify != nil && s.classify(j) {
+		s.explainedMisses++
+	}
+	if len(s.missSample) < missSampleCap {
+		s.missSample = append(s.missSample, m)
+	}
+	s.tel.CountL("sdem.sim.misses", s.telLabel, 1)
+}
+
+// Finish closes the run: every still-active job is retired as an
+// unfinished miss, the meter's horizon is closed at max(end, latest
+// execution), and the summary is returned.
+func (s *Stream) Finish(end float64) *StreamSummary {
+	for _, j := range s.jobs {
+		s.recordMiss(j, schedule.Miss{TaskID: j.Task.ID, Deadline: j.Task.Deadline, Remaining: j.Remaining})
+	}
+	for id := range s.jobs {
+		delete(s.jobs, id)
+	}
+	var b schedule.Breakdown
+	if s.meter != nil {
+		b = s.meter.Finish(end)
+	}
+	if end < s.now {
+		end = s.now
+	}
+	m := Metrics{Completed: int(s.completed)}
+	if s.completed > 0 {
+		m.MeanResponse = s.sumResp / float64(s.completed)
+		m.MaxResponse = s.maxResp
+		m.MeanLaxity = s.sumLax / float64(s.completed)
+	}
+	return &StreamSummary{
+		Admitted:        s.admitted,
+		Completed:       s.completed,
+		Misses:          s.missed,
+		ExplainedMisses: s.explainedMisses,
+		MissSample:      s.missSample,
+		Energy:          b.Total(),
+		Breakdown:       b,
+		Metrics:         m,
+		Start:           s.start,
+		End:             end,
+		MaxActive:       s.maxActive,
+	}
+}
