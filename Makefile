@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test lint fmt fuzz trace-demo bench bench-gate bench-stream soak-smoke overload-smoke
+.PHONY: check build vet test lint fmt fuzz trace-demo bench bench-gate bench-stream soak-smoke overload-smoke trace-smoke
 
 # check chains the same steps CI runs (.github/workflows/ci.yml).
 check: build vet test lint
@@ -84,6 +84,25 @@ overload-smoke:
 		-tasks 30 -hot 0.7 -slow 1 -require-shed -max-5xx 0 -out loadreport.json; \
 	STATUS=$$?; kill $$PID 2>/dev/null; wait $$PID 2>/dev/null; \
 	rm -f sdemd.smoke sdemload.smoke sdemd.smoke.addr; exit $$STATUS
+
+# trace-smoke reproduces the CI request-tracing drill locally: sdemload
+# -trace pulls every admitted request's wall span tree back out, sdemtrace
+# -verify gates tree well-formedness, /metrics must carry trace_id
+# exemplars, and a solve body must be byte-identical with tracing off.
+trace-smoke:
+	$(GO) build -o sdemd.smoke ./cmd/sdemd && $(GO) build -o sdemload.smoke ./cmd/sdemload \
+		&& $(GO) build -o sdemtrace.smoke ./cmd/sdemtrace
+	./sdemd.smoke -addr 127.0.0.1:0 -addr-file sdemd.smoke.addr & \
+	PID=$$!; \
+	for i in $$(seq 1 50); do [ -s sdemd.smoke.addr ] && break; sleep 0.1; done; \
+	ADDR=$$(cat sdemd.smoke.addr); \
+	./sdemload.smoke -addr "$$ADDR" -op simulate -requests 40 -duration 30s \
+		-concurrency 4 -tasks 10 -max-5xx 0 -trace-out traces.jsonl; \
+	STATUS=$$?; \
+	[ $$STATUS -eq 0 ] && ./sdemtrace.smoke -verify traces.jsonl && ./sdemtrace.smoke traces.jsonl \
+		&& curl -sf "http://$$ADDR/metrics" | grep -q '# {trace_id=' || STATUS=1; \
+	kill $$PID 2>/dev/null; wait $$PID 2>/dev/null; \
+	rm -f sdemd.smoke sdemload.smoke sdemtrace.smoke sdemd.smoke.addr; exit $$STATUS
 
 fmt:
 	gofmt -l -w .

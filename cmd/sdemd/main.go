@@ -60,6 +60,7 @@ type options struct {
 	budget         time.Duration
 	maxBudget      time.Duration
 	cacheSize      int
+	traceSample    int
 	chaosRate      float64
 	chaosSeed      int64
 	chaosKinds     string
@@ -80,6 +81,7 @@ func main() {
 	flag.DurationVar(&o.budget, "budget", 0, "default per-request deadline budget when the client sends no X-Budget-Ms (0 = 5s)")
 	flag.DurationVar(&o.maxBudget, "max-budget", 0, "cap on client-supplied budgets (0 = 30s)")
 	flag.IntVar(&o.cacheSize, "cache", 0, "coalescing schedule cache size in responses (0 = 4096, negative disables)")
+	flag.IntVar(&o.traceSample, "trace-sample", 1, "wall-trace every k-th request: traceparent/Server-Timing headers, latency exemplars and /debug/trace span trees (0 disables)")
 	flag.Float64Var(&o.chaosRate, "chaos-rate", 0, "serve-layer chaos: fraction of requests faulted in [0,1] (0 disables)")
 	flag.Int64Var(&o.chaosSeed, "chaos-seed", 1, "serve-layer chaos plan seed (same seed, same storm)")
 	flag.StringVar(&o.chaosKinds, "chaos-kinds", "", "serve-layer chaos kinds, comma-separated: latency,error,panic (default latency)")
@@ -112,6 +114,10 @@ func run(o options) error {
 		DefaultBudget: o.budget,
 		MaxBudget:     o.maxBudget,
 		CacheSize:     o.cacheSize,
+		TraceSample:   o.traceSample,
+	}
+	if o.traceSample == 0 {
+		cfg.TraceSample = -1 // flag 0 means off; Config 0 means the default
 	}
 	cfg.System = defaultSystem(o.cores)
 	if o.chaosRate > 0 {

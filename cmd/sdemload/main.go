@@ -25,6 +25,11 @@
 // byte at a time — they exist to verify the server's read timeouts cut
 // them off instead of letting them pin connections.
 //
+// -trace mints a W3C traceparent header per attempt and, after each
+// admitted response, pulls the server's wall-clock span tree back from
+// /debug/trace by the trace ID it minted; -trace-out appends those
+// trees as JSONL for cmd/sdemtrace to verify and aggregate.
+//
 // Exit status is the CI contract: nonzero when -require-shed saw no
 // shedding, when 5xx responses exceed -max-5xx, or when nothing
 // succeeded at all. -out writes the full JSON report for trending.
@@ -49,6 +54,7 @@ import (
 
 	"sdem/internal/stats"
 	"sdem/internal/task"
+	"sdem/internal/telemetry/wspan"
 	"sdem/internal/workload"
 )
 
@@ -69,6 +75,8 @@ type options struct {
 	backoff     time.Duration
 	slow        int
 	out         string
+	trace       bool
+	traceOut    string
 	requireShed bool
 	max5xx      int64
 }
@@ -96,6 +104,8 @@ type report struct {
 	LatencyMax  float64 `json:"latency_max_ms"`
 	SlowClients int     `json:"slow_clients,omitempty"`
 	SlowCutoffs int64   `json:"slow_cutoffs,omitempty"`
+	Traces      int64   `json:"traces_fetched,omitempty"`
+	TraceMisses int64   `json:"trace_misses,omitempty"`
 }
 
 // counters aggregates outcomes across workers; latencies (ms) are the
@@ -119,6 +129,59 @@ func (c *counters) observe(ms float64) {
 	c.mu.Unlock()
 }
 
+// traceSink pulls sealed span trees back from the server's /debug/trace
+// surface and appends them as JSONL. A nil sink disables tracing; w may
+// be nil (bare -trace verifies the round-trip and counts, keeps nothing).
+type traceSink struct {
+	base string // http://addr
+	mu   sync.Mutex
+	w    io.Writer
+
+	fetched atomic.Int64
+	missed  atomic.Int64 // unsampled, evicted before fetch, or fetch failed
+}
+
+// collect fetches one trace by the 32-hex ID sdemload itself minted for
+// the request's traceparent header; the server adopted it, so the ring
+// resolves it directly without parsing the response body.
+func (s *traceSink) collect(ctx context.Context, client *http.Client, traceID string) {
+	if s == nil || traceID == "" {
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		s.base+"/debug/trace/"+traceID+"?format=wall", nil)
+	if err != nil {
+		s.missed.Add(1)
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		s.missed.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		s.missed.Add(1)
+		return
+	}
+	line, err := io.ReadAll(resp.Body)
+	if err != nil {
+		s.missed.Add(1)
+		return
+	}
+	if s.w != nil {
+		s.mu.Lock()
+		_, err = s.w.Write(line)
+		s.mu.Unlock()
+		if err != nil {
+			s.missed.Add(1)
+			return
+		}
+	}
+	s.fetched.Add(1)
+}
+
 func main() {
 	var o options
 	flag.StringVar(&o.addr, "addr", "127.0.0.1:8080", "sdemd address (host:port)")
@@ -137,6 +200,8 @@ func main() {
 	flag.DurationVar(&o.backoff, "backoff", 25*time.Millisecond, "base retry backoff (doubles per attempt, jittered, Retry-After wins)")
 	flag.IntVar(&o.slow, "slow", 0, "pathological clients dribbling request bytes to probe read timeouts")
 	flag.StringVar(&o.out, "out", "", "write the JSON report here")
+	flag.BoolVar(&o.trace, "trace", false, "send W3C traceparent headers and pull each admitted request's wall-clock span tree back from /debug/trace")
+	flag.StringVar(&o.traceOut, "trace-out", "", "append fetched span trees as JSONL here (implies -trace; feed to sdemtrace)")
 	flag.BoolVar(&o.requireShed, "require-shed", false, "exit nonzero unless the server shed at least one request")
 	flag.Int64Var(&o.max5xx, "max-5xx", 0, "exit nonzero when 5xx responses exceed this count")
 	flag.Parse()
@@ -162,6 +227,18 @@ func run(o options) error {
 		return err
 	}
 	url := "http://" + o.addr + path
+	var sink *traceSink
+	if o.trace || o.traceOut != "" {
+		sink = &traceSink{base: "http://" + o.addr}
+		if o.traceOut != "" {
+			f, err := os.Create(o.traceOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			sink.w = f
+		}
+	}
 	client := &http.Client{
 		Timeout: o.duration + 30*time.Second,
 		Transport: &http.Transport{
@@ -215,7 +292,7 @@ func run(o options) error {
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					issue(ctx, client, url, hot, o, n, &c)
+					issue(ctx, client, url, hot, o, n, &c, sink)
 				}()
 			}
 		}
@@ -229,7 +306,7 @@ func run(o options) error {
 					if !ok {
 						return
 					}
-					issue(ctx, client, url, hot, o, n, &c)
+					issue(ctx, client, url, hot, o, n, &c, sink)
 				}
 			}()
 		}
@@ -239,6 +316,10 @@ func run(o options) error {
 	elapsed := time.Since(start)
 
 	rep := summarize(o, &c, elapsed, slowCutoffs.Load())
+	if sink != nil {
+		rep.Traces = sink.fetched.Load()
+		rep.TraceMisses = sink.missed.Load()
+	}
 	if o.out != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -305,7 +386,7 @@ func body(o options, seed int64) ([]byte, error) {
 // mix, send, and retry 429s with backoff until the budget of attempts
 // is spent. Counts go to c; only 2xx attempt latencies enter the
 // quantile set.
-func issue(ctx context.Context, client *http.Client, url string, hot [][]byte, o options, n int64, c *counters) {
+func issue(ctx context.Context, client *http.Client, url string, hot [][]byte, o options, n int64, c *counters, sink *traceSink) {
 	c.requests.Add(1)
 	var payload []byte
 	if unit(o.seed, 0x1a1d, uint64(n)) < o.hot {
@@ -320,7 +401,13 @@ func issue(ctx context.Context, client *http.Client, url string, hot [][]byte, o
 	}
 
 	for attempt := 0; ; attempt++ {
-		code, retryAfter, ms, err := attemptOnce(ctx, client, url, payload, o.budgetMs)
+		// One trace per attempt: a retried request must not reuse the shed
+		// attempt's trace ID, or the ring would alias two span trees.
+		var tp *wspan.Trace
+		if sink != nil {
+			tp = wspan.New("sdemload")
+		}
+		code, retryAfter, ms, err := attemptOnce(ctx, client, url, payload, o.budgetMs, tp.Traceparent())
 		switch {
 		case err != nil:
 			if ctx.Err() != nil {
@@ -331,6 +418,7 @@ func issue(ctx context.Context, client *http.Client, url string, hot [][]byte, o
 		case code >= 200 && code < 300:
 			c.ok.Add(1)
 			c.observe(ms)
+			sink.collect(ctx, client, tp.TraceID())
 			return
 		case code == http.StatusTooManyRequests:
 			c.shed.Add(1)
@@ -354,7 +442,7 @@ func issue(ctx context.Context, client *http.Client, url string, hot [][]byte, o
 // attemptOnce sends one HTTP attempt and returns its status code, the
 // parsed Retry-After hint (seconds, 0 if absent) and the wall latency
 // in milliseconds.
-func attemptOnce(ctx context.Context, client *http.Client, url string, payload []byte, budgetMs int64) (code, retryAfter int, ms float64, err error) {
+func attemptOnce(ctx context.Context, client *http.Client, url string, payload []byte, budgetMs int64, traceparent string) (code, retryAfter int, ms float64, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
 	if err != nil {
 		return 0, 0, 0, err
@@ -362,6 +450,9 @@ func attemptOnce(ctx context.Context, client *http.Client, url string, payload [
 	req.Header.Set("Content-Type", "application/json")
 	if budgetMs > 0 {
 		req.Header.Set("X-Budget-Ms", strconv.FormatInt(budgetMs, 10))
+	}
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
 	}
 	//lint:allow telemetrycheck: client-observed request latency is the quantity under measurement
 	t0 := time.Now()
@@ -505,6 +596,9 @@ func printReport(r report) {
 		r.LatencyP50, r.LatencyP90, r.LatencyP99, r.LatencyMax)
 	if r.SlowClients > 0 {
 		fmt.Printf("slow readers: %d clients, %d server cutoffs\n", r.SlowClients, r.SlowCutoffs)
+	}
+	if r.Traces > 0 || r.TraceMisses > 0 {
+		fmt.Printf("traces: %d span trees fetched, %d misses\n", r.Traces, r.TraceMisses)
 	}
 }
 

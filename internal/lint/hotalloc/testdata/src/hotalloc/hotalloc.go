@@ -94,3 +94,15 @@ func CacheInsertHot(entries map[string]chan struct{}, keys []string) []string {
 	}
 	return order
 }
+
+// LabelsHot mirrors the telemetry label-map miss path before interning:
+// a fresh label map (or a formatted label string) per observation is an
+// allocation on every request, exactly what per-route interned label
+// sets remove. The interned call is the fixed shape and stays clean.
+//
+//sdem:hotpath
+func LabelsHot(observe func(map[string]string), route, code string, interned map[string]string) {
+	observe(map[string]string{"route": route}) // want "map literal allocates per call"
+	observe(map[string]string{"code": code})   // want "map literal allocates per call"
+	observe(interned)                          // interned at construction: clean
+}

@@ -5,13 +5,15 @@
 // any worker count, with telemetry on or off — holds only because every
 // metric and trace timestamp derives from virtual schedule/sim time. A
 // time.Now (or Since/Until) anywhere in a solver, simulator or sweep path
-// smuggles nondeterminism into that chain. Wall-clock profiling is
-// legitimate but lives exclusively in internal/telemetry's Profiler,
-// whose output is segregated from the deterministic dumps. Every other
-// site that genuinely needs wall time — such as the serve middleware's
-// request-latency measurement — carries a //lint:allow telemetrycheck
-// comment stating why, so the justification lives next to the read
-// instead of in a list maintained here.
+// smuggles nondeterminism into that chain. Wall-clock reads are
+// legitimate only inside the sanctioned quarantine:
+// internal/telemetry's Profiler and internal/telemetry/wspan's
+// request-lifecycle span trees, both of whose output is segregated from
+// the deterministic dumps. Every other site that genuinely needs wall
+// time — such as the serve middleware's request-latency measurement —
+// carries a //lint:allow telemetrycheck comment stating why, so the
+// justification lives next to the read instead of in a list maintained
+// here.
 package telemetrycheck
 
 import (
@@ -30,10 +32,12 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-// allowedPkgs is the wall-clock quarantine: only the telemetry package's
-// Profiler may read real time anywhere in the package.
+// allowedPkgs is the wall-clock quarantine: the telemetry package's
+// Profiler and the wspan wall-clock span trees may read real time
+// anywhere in their packages; nothing else may.
 var allowedPkgs = map[string]bool{
-	"sdem/internal/telemetry": true,
+	"sdem/internal/telemetry":       true,
+	"sdem/internal/telemetry/wspan": true,
 }
 
 // wallClockFuncs are the package time functions that read the real clock.

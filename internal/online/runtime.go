@@ -208,6 +208,11 @@ func (rt *Runtime) step(pool runner, busy []float64, now, next float64, opts Opt
 		// wake ≥ next and execute nothing: sleep through to the next
 		// arrival without solving.
 		tel.Count("sdem.solver.online.skipped_solves", 1)
+		if tel != nil {
+			tel.Instant("sleep-certificate", "online", now, 0,
+				telemetry.Int("active", int64(len(rt.active))),
+				telemetry.Num("until", next))
+		}
 		return nil
 	}
 

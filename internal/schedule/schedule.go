@@ -393,6 +393,39 @@ func (p SleepPolicy) GapEnergy(g, alpha, xi float64) float64 {
 	return st + tr
 }
 
+// Decision is the compact provenance record of one idle gap's
+// sleep-or-idle choice: what the audit's gap charging decided, by what
+// margin relative to the break-even time, and what the decision saved
+// over staying idle-active. It exists so observability layers can
+// replay the paper's per-gap break-even comparison without re-deriving
+// gapCost's case analysis.
+type Decision struct {
+	// Sleeps reports whether the component transitions to sleep.
+	Sleeps bool
+	// Margin is the gap length minus the break-even time xi: positive
+	// past break-even, negative for gaps too short to pay the
+	// transition back.
+	Margin float64
+	// NetGain is the energy saved versus staying idle-active for the
+	// whole gap (alpha·g minus what the policy actually charges);
+	// alpha·(g−xi) for a break-even sleep, 0 when idling was chosen,
+	// negative when SleepAlways sleeps at a loss.
+	NetGain float64
+}
+
+// Decide returns the decision record of one idle gap of length g for a
+// component with static power alpha and break-even time xi under p —
+// the same case analysis the audit charges by, exposed for decision
+// provenance.
+func (p SleepPolicy) Decide(g, alpha, xi float64) Decision {
+	st, tr, _, sleeps := gapCost(g, alpha, xi, p)
+	return Decision{
+		Sleeps:  sleeps,
+		Margin:  g - xi,
+		NetGain: alpha*g - (st + tr),
+	}
+}
+
 // gapCost charges one idle gap of length g for a component with static
 // power alpha and break-even time xi under the given policy. It returns
 // static energy, transition energy, slept seconds and whether a sleep

@@ -351,3 +351,37 @@ func almostEqual(a, b, tol float64) bool {
 	diff := math.Abs(a - b)
 	return diff <= tol*math.Max(math.Max(math.Abs(a), math.Abs(b)), 1)
 }
+
+// TestDecideMatchesGapCharging checks the Decision provenance record
+// against the audit's gap charging it claims to replay: for every
+// policy and gap class, Sleeps agrees with Sleeps(), NetGain equals the
+// idle-active cost minus GapEnergy, and Margin is the break-even
+// distance.
+func TestDecideMatchesGapCharging(t *testing.T) {
+	const alpha, xi = 0.5, 0.02
+	for _, pol := range []SleepPolicy{SleepNever, SleepAlways, SleepBreakEven} {
+		for _, g := range []float64{0, 1e-12, 0.001, xi, 0.05, 3} {
+			d := pol.Decide(g, alpha, xi)
+			if got, want := d.Sleeps, pol.Sleeps(g, alpha, xi); got != want {
+				t.Errorf("%v Decide(%g).Sleeps = %v, Sleeps() = %v", pol, g, got, want)
+			}
+			if got, want := d.NetGain, alpha*g-pol.GapEnergy(g, alpha, xi); math.Abs(got-want) > 1e-15 {
+				t.Errorf("%v Decide(%g).NetGain = %g, want %g", pol, g, got, want)
+			}
+			if d.Margin != g-xi {
+				t.Errorf("%v Decide(%g).Margin = %g, want %g", pol, g, d.Margin, g-xi)
+			}
+		}
+	}
+	// The paper's headline quantities: a break-even sleep past xi saves
+	// alpha*(g-xi); an always-sleep below xi loses energy.
+	if d := SleepBreakEven.Decide(0.05, alpha, xi); !d.Sleeps || math.Abs(d.NetGain-alpha*(0.05-xi)) > 1e-15 {
+		t.Errorf("break-even sleep gain = %+v, want %g", d, alpha*(0.05-xi))
+	}
+	if d := SleepAlways.Decide(0.001, alpha, xi); !d.Sleeps || d.NetGain >= 0 {
+		t.Errorf("always-sleep below break-even should lose energy: %+v", d)
+	}
+	if d := SleepNever.Decide(1, alpha, xi); d.Sleeps || d.NetGain != 0 {
+		t.Errorf("never-sleep should idle at zero gain: %+v", d)
+	}
+}

@@ -1,0 +1,218 @@
+// Decision provenance: the compact, per-gap record of WHY a schedule
+// looks the way it does — the paper's race/sleep/crawl choice replayed
+// from the finished schedule against the platform's break-even
+// thresholds (ξ for cores, ξ_m for memory) and critical speeds.
+//
+// An Explanation is computed inside the schedule cache's compute
+// closure, so cached responses carry it for free and a cache hit
+// explains itself without re-deriving anything. It is stored on the
+// canonical TaskResponse in an unexported field (encoding/json skips
+// it), keeping the byte-identity contract between cached and fresh
+// response bodies intact; /v1/explain and /debug/trace/{id} are the
+// surfaces that serialize it.
+package serve
+
+import (
+	"strconv"
+
+	"sdem/internal/power"
+	"sdem/internal/schedule"
+	"sdem/internal/telemetry/wspan"
+)
+
+// explainGapCap bounds the per-gap detail of one explanation; schedules
+// with more idle gaps report the first explainGapCap and set Truncated.
+// The summary counters always cover every gap.
+const explainGapCap = 256
+
+// GapDecision is one idle gap's sleep-or-idle record.
+type GapDecision struct {
+	// Component is "memory" or "core <k>".
+	Component string `json:"component"`
+	// Start and End delimit the gap in virtual seconds.
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	// LengthS is the gap length, the quantity compared to break-even.
+	LengthS float64 `json:"length_s"`
+	// BreakEvenS is the component's break-even time ξ (ξ_m for memory).
+	BreakEvenS float64 `json:"break_even_s"`
+	// MarginS is LengthS − BreakEvenS: positive means the gap is past
+	// break-even and sleeping pays.
+	MarginS float64 `json:"margin_s"`
+	// Decision is "sleep" or "idle".
+	Decision string `json:"decision"`
+	// NetGainJ is the energy the decision saved versus idling through
+	// the gap (α·(len−ξ) for a break-even sleep; 0 when idling).
+	NetGainJ float64 `json:"net_gain_j"`
+}
+
+// SpeedDecision is one execution segment's race/crawl/dvs record.
+type SpeedDecision struct {
+	// Core is the core index running the segment.
+	Core int `json:"core"`
+	// Task is the task ID of the segment.
+	Task int `json:"task"`
+	// Start and DurS place the segment in virtual time.
+	Start float64 `json:"start"`
+	DurS  float64 `json:"dur_s"`
+	// Speed is the segment's DVS speed setting.
+	Speed float64 `json:"speed"`
+	// CriticalSpeed is the platform's clamped critical speed s_m — the
+	// crawl floor below which slowing down wastes static energy.
+	CriticalSpeed float64 `json:"critical_speed"`
+	// Decision is "race" (at s_up), "crawl" (at the critical speed) or
+	// "dvs" (an intermediate deadline-driven speed).
+	Decision string `json:"decision"`
+}
+
+// ExplainSummary aggregates the whole schedule's decisions.
+type ExplainSummary struct {
+	Gaps        int     `json:"gaps"`
+	Sleeps      int     `json:"sleeps"`
+	Idles       int     `json:"idles"`
+	SleepGainJ  float64 `json:"sleep_gain_j"`
+	Segments    int     `json:"segments"`
+	Races       int     `json:"races"`
+	Crawls      int     `json:"crawls"`
+	Dvs         int     `json:"dvs"`
+	MemorySleep bool    `json:"memory_sleeps"`
+}
+
+// Explanation is the decision-provenance document of one schedule.
+type Explanation struct {
+	Scheduler    string `json:"scheduler"`
+	CorePolicy   string `json:"core_policy"`
+	MemoryPolicy string `json:"memory_policy"`
+	// CoreBreakEvenS and MemoryBreakEvenS are the platform thresholds
+	// every gap below was compared against.
+	CoreBreakEvenS   float64         `json:"core_break_even_s"`
+	MemoryBreakEvenS float64         `json:"memory_break_even_s"`
+	CriticalSpeed    float64         `json:"critical_speed"`
+	Summary          ExplainSummary  `json:"summary"`
+	Gaps             []GapDecision   `json:"gaps,omitempty"`
+	Speeds           []SpeedDecision `json:"speeds,omitempty"`
+	// Truncated reports that the per-gap / per-segment detail was capped
+	// (the summary still covers everything).
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// speedTol classifies a segment speed as race / crawl when it sits
+// within this relative tolerance of s_up / s_m.
+const speedTol = 1e-9 //lint:allow tolconst: classification tolerance matching schedule.Tol
+
+// explainSchedule replays the per-gap and per-segment decisions of a
+// finished schedule. Pure and read-only: it walks the schedule with the
+// same interval helpers the audit uses and prices gaps with
+// schedule.SleepPolicy.Decide, so the provenance can never disagree
+// with the energy accounting.
+func explainSchedule(sched string, s *schedule.Schedule, sys power.System) *Explanation {
+	if s == nil {
+		return nil
+	}
+	ex := &Explanation{
+		Scheduler:        sched,
+		CorePolicy:       s.CorePolicy.String(),
+		MemoryPolicy:     s.MemoryPolicy.String(),
+		CoreBreakEvenS:   sys.Core.BreakEven,
+		MemoryBreakEvenS: sys.Memory.BreakEven,
+		CriticalSpeed:    sys.Core.CriticalSpeed(0),
+	}
+
+	appendGap := func(component string, g schedule.Interval, pol schedule.SleepPolicy, alpha, xi float64) {
+		d := pol.Decide(g.Len(), alpha, xi)
+		ex.Summary.Gaps++
+		decision := "idle"
+		if d.Sleeps {
+			decision = "sleep"
+			ex.Summary.Sleeps++
+			ex.Summary.SleepGainJ += d.NetGain
+		} else {
+			ex.Summary.Idles++
+		}
+		if len(ex.Gaps) >= explainGapCap {
+			ex.Truncated = true
+			return
+		}
+		ex.Gaps = append(ex.Gaps, GapDecision{
+			Component:  component,
+			Start:      g.Start,
+			End:        g.End,
+			LengthS:    g.Len(),
+			BreakEvenS: xi,
+			MarginS:    d.Margin,
+			Decision:   decision,
+			NetGainJ:   d.NetGain,
+		})
+	}
+
+	// Memory gaps: the union of all cores' busy time defines when the
+	// memory may sleep — the paper's central coupling.
+	memBusy := s.MemoryBusy()
+	for _, g := range schedule.Gaps(memBusy, s.Start, s.End) {
+		appendGap("memory", g, s.MemoryPolicy, sys.Memory.Static, sys.Memory.BreakEven)
+		if g.Len() >= sys.Memory.BreakEven && s.MemoryPolicy.Sleeps(g.Len(), sys.Memory.Static, sys.Memory.BreakEven) {
+			ex.Summary.MemorySleep = true
+		}
+	}
+
+	// Per-core gaps and segment speed classes.
+	sUp := sys.Core.SpeedMax
+	sCrit := ex.CriticalSpeed
+	for k, segs := range s.Cores {
+		for _, g := range schedule.Gaps(schedule.BusyIntervals(segs), s.Start, s.End) {
+			appendGap(coreName(k), g, s.CorePolicy, sys.Core.Static, sys.Core.BreakEven)
+		}
+		for _, sg := range segs {
+			ex.Summary.Segments++
+			decision := "dvs"
+			switch {
+			case sUp > 0 && sg.Speed >= sUp*(1-speedTol):
+				decision = "race"
+				ex.Summary.Races++
+			case sCrit > 0 && sg.Speed <= sCrit*(1+speedTol):
+				decision = "crawl"
+				ex.Summary.Crawls++
+			default:
+				ex.Summary.Dvs++
+			}
+			if len(ex.Speeds) >= explainGapCap {
+				ex.Truncated = true
+				continue
+			}
+			ex.Speeds = append(ex.Speeds, SpeedDecision{
+				Core:          k,
+				Task:          sg.TaskID,
+				Start:         sg.Start,
+				DurS:          sg.End - sg.Start,
+				Speed:         sg.Speed,
+				CriticalSpeed: sCrit,
+				Decision:      decision,
+			})
+		}
+	}
+	return ex
+}
+
+// noteProvenance summarizes an explanation onto a solve span, so the
+// wall trace alone answers "what did the scheduler decide" without a
+// second lookup. Inert on nil spans and nil explanations.
+func noteProvenance(sp wspan.Span, ex *Explanation) {
+	if ex == nil {
+		return
+	}
+	sp.NoteInt("gaps", int64(ex.Summary.Gaps))
+	sp.NoteInt("sleeps", int64(ex.Summary.Sleeps))
+	sp.NoteInt("races", int64(ex.Summary.Races))
+	sp.NoteInt("crawls", int64(ex.Summary.Crawls))
+	sp.Note("memory_sleeps", strconv.FormatBool(ex.Summary.MemorySleep))
+}
+
+// coreName interns the "core <k>" component names for small k.
+var coreNames = []string{"core 0", "core 1", "core 2", "core 3", "core 4", "core 5", "core 6", "core 7"}
+
+func coreName(k int) string {
+	if k >= 0 && k < len(coreNames) {
+		return coreNames[k]
+	}
+	return "core " + strconv.Itoa(k)
+}

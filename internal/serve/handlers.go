@@ -2,6 +2,8 @@
 // virtual schedule/sim time through the existing solver, simulator and
 // resilient-runtime APIs; every metric they record goes to the request's
 // child recorder and is therefore deterministic in the request payload.
+// Wall-clock stage bracketing (decode → cache → solve → encode → write)
+// goes through opaque wspan handles, so no clock reads happen here.
 package serve
 
 import (
@@ -24,6 +26,14 @@ import (
 	"sdem/internal/sim"
 	"sdem/internal/task"
 	"sdem/internal/telemetry"
+	"sdem/internal/telemetry/wspan"
+)
+
+// Online-policy provenance counters (bumped by internal/online); solve
+// spans note their per-request deltas.
+const (
+	metricSkippedSolves = "sdem.solver.online.skipped_solves"
+	metricPlanReuse     = "sdem.solver.online.plan_reuse"
 )
 
 // TaskRequest is the request envelope of the compute endpoints. Tasks
@@ -93,6 +103,13 @@ type TaskResponse struct {
 	// TraceURL replays this request's virtual-time trace while it remains
 	// in the replay ring.
 	TraceURL string `json:"trace_url"`
+
+	// prov is the schedule's decision provenance, computed inside the
+	// cacheable compute closure so cached responses explain themselves.
+	// Unexported: encoding/json skips it, which keeps cached and fresh
+	// response bodies byte-identical; /v1/explain and /debug/trace are
+	// the surfaces that serialize it.
+	prov *Explanation
 }
 
 // errorResponse is the JSON error shape of every endpoint.
@@ -108,10 +125,37 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
+// writeJSON encodes and writes one response, bracketing the encode and
+// write stages with spans and emitting the Server-Timing stage breakdown
+// (every stage ended so far — admission, decode, cache, encode) before
+// the status line. MarshalIndent followed by a newline produces exactly
+// the bytes json.Encoder with the same indent would, so buffering for
+// the write span does not perturb response bodies.
+func (rc *requestCtx) writeJSON(w http.ResponseWriter, code int, v any) {
+	esp := rc.span("encode")
+	buf, err := json.MarshalIndent(v, "", "  ")
+	esp.End()
+	if err != nil {
+		// Responses are plain data structs; reaching this is a bug, but
+		// the client still deserves a well-formed error body.
+		http.Error(w, `{"error":"internal error: response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	buf = append(buf, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	if st := rc.wall.ServerTiming(); st != "" {
+		w.Header().Set("Server-Timing", st)
+	}
+	w.WriteHeader(code)
+	wsp := rc.span("write")
+	w.Write(buf)
+	wsp.End()
+}
+
 func httpError(rc *requestCtx, w http.ResponseWriter, code int, err error) {
 	rc.Set("status", "error")
 	rc.Set("err", err.Error())
-	writeJSON(w, code, errorResponse{Error: err.Error()})
+	rc.writeJSON(w, code, errorResponse{Error: err.Error()})
 }
 
 // errorCode maps solver errors onto HTTP status codes: model/feasibility
@@ -134,9 +178,12 @@ func errorCode(err error) int {
 	}
 }
 
-// decode parses the JSON request body (bounded by MaxBody) into req. An
-// over-long body is the client's size problem (413), not a parse error.
+// decode parses the JSON request body (bounded by MaxBody) into req,
+// under the request's decode span. An over-long body is the client's
+// size problem (413), not a parse error.
 func (s *Server) decode(rc *requestCtx, w http.ResponseWriter, r *http.Request, req any) bool {
+	sp := rc.span("decode")
+	defer sp.End()
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(req); err != nil {
@@ -179,8 +226,8 @@ func (rc *requestCtx) record(sched string, n int, energy float64, misses int) {
 	} else {
 		rc.Set("status", "ok")
 	}
-	rc.tel.ObserveL(metricEnergy, "route="+rc.route, energy)
-	rc.tel.ObserveL(metricTasks, "route="+rc.route, float64(n))
+	rc.tel.ObserveL(metricEnergy, rc.labels.route, energy)
+	rc.tel.ObserveL(metricTasks, rc.labels.route, float64(n))
 }
 
 // handleSolve answers with the offline optimal schedule (§4/§5 dispatch)
@@ -190,27 +237,40 @@ func (s *Server) handleSolve(rc *requestCtx, w http.ResponseWriter, r *http.Requ
 	if !s.decode(rc, w, r, &req) {
 		return
 	}
-	resp, code, err := s.solveOne(r.Context(), rc.tel, &req, rc.id)
+	resp, code, err := s.solveOne(r.Context(), rc.tel, &req, rc.id, rc.root())
 	if err != nil {
 		httpError(rc, w, code, err)
 		return
 	}
+	rc.setProv(resp.prov)
 	rc.record(resp.Scheduler, resp.N, resp.EnergyJ, len(resp.Misses))
-	writeJSON(w, http.StatusOK, resp)
+	rc.writeJSON(w, http.StatusOK, resp)
 }
 
 // cached satisfies a compute request through the coalescing schedule
 // cache when it is enabled: identical canonical requests cost one solve,
-// concurrent identical requests coalesce onto one leader. compute must
-// build the canonical response — Request and TraceURL blank — and the
-// caller stamps its own copy.
-func (s *Server) cached(ctx context.Context, tel *telemetry.Recorder, op, scheduler string, req *TaskRequest, sys power.System, compute func() (*TaskResponse, int, error)) (*TaskResponse, int, error) {
+// concurrent identical requests coalesce onto one leader. The cache span
+// (a child of parent) brackets the lookup and notes its outcome; the
+// solve span is opened under it only when this request's own goroutine
+// actually computes — a hit or coalesced wait has no solve child.
+// compute must build the canonical response — Request and TraceURL
+// blank — and the caller stamps its own copy.
+func (s *Server) cached(ctx context.Context, tel *telemetry.Recorder, op, scheduler string, req *TaskRequest, sys power.System, parent wspan.Span, compute func(wspan.Span) (*TaskResponse, int, error)) (*TaskResponse, int, error) {
 	if s.cache == nil {
-		return compute()
+		sp := parent.Start("solve")
+		defer sp.End()
+		return compute(sp)
 	}
+	csp := parent.Start("cache")
 	key := encode.CanonicalKey(op, scheduler, req.IncludeSchedule, req.Tasks, sys)
-	resp, code, err, outcome := s.cache.do(ctx, key, compute)
-	tel.CountL(metricCache, "op="+op+",result="+string(outcome), 1)
+	resp, code, err, outcome := s.cache.do(ctx, key, func() (*TaskResponse, int, error) {
+		sp := csp.Start("solve")
+		defer sp.End()
+		return compute(sp)
+	})
+	csp.Note("outcome", string(outcome))
+	csp.End()
+	tel.CountL(metricCache, cacheLabel(op, outcome), 1)
 	return resp, code, err
 }
 
@@ -225,8 +285,9 @@ func stamp(resp *TaskResponse, id string) *TaskResponse {
 }
 
 // solveOne runs one offline solve on the given recorder; shared by
-// /v1/solve and /v1/batch.
-func (s *Server) solveOne(ctx context.Context, tel *telemetry.Recorder, req *TaskRequest, id string) (*TaskResponse, int, error) {
+// /v1/solve, /v1/explain and /v1/batch. parent is the wall span the
+// cache/solve stages nest under (the request root, or a batch item).
+func (s *Server) solveOne(ctx context.Context, tel *telemetry.Recorder, req *TaskRequest, id string, parent wspan.Span) (*TaskResponse, int, error) {
 	if req.Scheduler != "" && req.Scheduler != "auto" {
 		return nil, http.StatusBadRequest, fmt.Errorf("scheduler %q is not an offline scheme; use /v1/simulate", req.Scheduler)
 	}
@@ -234,7 +295,7 @@ func (s *Server) solveOne(ctx context.Context, tel *telemetry.Recorder, req *Tas
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	resp, code, err := s.cached(ctx, tel, "solve", "auto", req, sys, func() (*TaskResponse, int, error) {
+	resp, code, err := s.cached(ctx, tel, "solve", "auto", req, sys, parent, func(sp wspan.Span) (*TaskResponse, int, error) {
 		sol, err := core.SolveCtx(ctx, req.Tasks, sys, tel)
 		if err != nil {
 			return nil, errorCode(err), err
@@ -247,7 +308,10 @@ func (s *Server) solveOne(ctx context.Context, tel *telemetry.Recorder, req *Tas
 			N:          len(req.Tasks),
 			EnergyJ:    e.Total(),
 			Components: componentsOf(e),
+			prov:       explainSchedule("auto", sol.Schedule, sys),
 		}
+		sp.Note("scheme", sol.Scheme)
+		noteProvenance(sp, resp.prov)
 		if req.IncludeSchedule {
 			resp.Schedule = sol.Schedule
 		}
@@ -265,13 +329,14 @@ func (s *Server) handleSimulate(rc *requestCtx, w http.ResponseWriter, r *http.R
 	if !s.decode(rc, w, r, &req) {
 		return
 	}
-	resp, code, err := s.simulateOne(r.Context(), rc.tel, &req, rc.id)
+	resp, code, err := s.simulateOne(r.Context(), rc.tel, &req, rc.id, rc.root())
 	if err != nil {
 		httpError(rc, w, code, err)
 		return
 	}
+	rc.setProv(resp.prov)
 	rc.record(resp.Scheduler, resp.N, resp.EnergyJ, len(resp.Misses))
-	writeJSON(w, http.StatusOK, resp)
+	rc.writeJSON(w, http.StatusOK, resp)
 }
 
 // runtimes recycles online.Runtime scratch (active set, plan memo, busy
@@ -287,8 +352,8 @@ func scheduleOnline(tasks task.Set, sys power.System, opts online.Options) (*sim
 }
 
 // simulateOne runs one online policy on the given recorder; shared by
-// /v1/simulate and /v1/batch.
-func (s *Server) simulateOne(ctx context.Context, tel *telemetry.Recorder, req *TaskRequest, id string) (*TaskResponse, int, error) {
+// /v1/simulate, /v1/explain and /v1/batch.
+func (s *Server) simulateOne(ctx context.Context, tel *telemetry.Recorder, req *TaskRequest, id string, parent wspan.Span) (*TaskResponse, int, error) {
 	sys, err := s.system(req)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
@@ -302,12 +367,17 @@ func (s *Server) simulateOne(ctx context.Context, tel *telemetry.Recorder, req *
 	default:
 		return nil, http.StatusBadRequest, fmt.Errorf("unknown scheduler %q (want sdem-on, mbkp, mbkps, race or critical)", sched)
 	}
-	resp, code, err := s.cached(ctx, tel, "simulate", sched, req, sys, func() (*TaskResponse, int, error) {
+	resp, code, err := s.cached(ctx, tel, "simulate", sched, req, sys, parent, func(sp wspan.Span) (*TaskResponse, int, error) {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
 				return nil, errorCode(err), err
 			}
 		}
+		// The sleep-certificate and plan-delta memo counters accumulate
+		// over the recorder's lifetime; the deltas across this run are
+		// this request's short-circuit provenance.
+		skip0 := tel.CounterValue(metricSkippedSolves, "")
+		reuse0 := tel.CounterValue(metricPlanReuse, "")
 		cores := sys.Cores
 		var (
 			res *sim.Result
@@ -328,6 +398,10 @@ func (s *Server) simulateOne(ctx context.Context, tel *telemetry.Recorder, req *
 		if err != nil {
 			return nil, errorCode(err), err
 		}
+		if sched == "sdem-on" {
+			sp.NoteInt("skipped_solves", tel.CounterValue(metricSkippedSolves, "")-skip0)
+			sp.NoteInt("plan_reuse", tel.CounterValue(metricPlanReuse, "")-reuse0)
+		}
 		e := res.EnergyBreakdown()
 		resp := &TaskResponse{
 			Scheduler:  sched,
@@ -336,7 +410,9 @@ func (s *Server) simulateOne(ctx context.Context, tel *telemetry.Recorder, req *
 			EnergyJ:    e.Total(),
 			Components: componentsOf(e),
 			Misses:     res.Misses,
+			prov:       explainSchedule(sched, res.Schedule, sys),
 		}
+		noteProvenance(sp, resp.prov)
 		if req.IncludeSchedule {
 			resp.Schedule = res.Schedule
 		}
@@ -364,15 +440,6 @@ func (s *Server) handleExecute(rc *requestCtx, w http.ResponseWriter, r *http.Re
 		httpError(rc, w, http.StatusBadRequest, errors.New("execute needs a faults spec (seed, intensity)"))
 		return
 	}
-
-	// Plan: offline optimum when the model has one, SDEM-ON otherwise —
-	// the same dispatch cmd/sdem's auto mode uses.
-	plan, planner, code, err := s.planSchedule(r.Context(), rc.tel, &req, sys)
-	if err != nil {
-		httpError(rc, w, code, err)
-		return
-	}
-
 	pol := resilient.DefaultPolicy()
 	if req.Faults.Recovery == "none" {
 		pol = resilient.NoRecovery()
@@ -381,12 +448,30 @@ func (s *Server) handleExecute(rc *requestCtx, w http.ResponseWriter, r *http.Re
 		return
 	}
 	pol.Telemetry = rc.tel
+
+	// Plan: offline optimum when the model has one, SDEM-ON otherwise —
+	// the same dispatch cmd/sdem's auto mode uses. The solve span covers
+	// planning and the perturbed replay; /v1/execute never caches (the
+	// fault plan makes each request its own experiment).
+	sp := rc.span("solve")
+	plan, planner, code, err := s.planSchedule(r.Context(), rc.tel, &req, sys)
+	if err != nil {
+		sp.End()
+		httpError(rc, w, code, err)
+		return
+	}
+	sp.Note("planner", planner)
 	fp := faults.Generate(faults.Config{Intensity: req.Faults.Intensity}, req.Tasks, sys, req.Faults.Seed)
 	res, err := resilient.Execute(plan, req.Tasks, sys, fp, pol)
 	if err != nil {
+		sp.End()
 		httpError(rc, w, errorCode(err), err)
 		return
 	}
+	ex := explainSchedule(planner, res.Sim.Schedule, sys)
+	noteProvenance(sp, ex)
+	sp.End()
+	rc.setProv(ex)
 
 	e := res.Sim.EnergyBreakdown()
 	resp := &TaskResponse{
@@ -401,6 +486,7 @@ func (s *Server) handleExecute(rc *requestCtx, w http.ResponseWriter, r *http.Re
 		FaultMisses: len(res.FaultMisses),
 		Averted:     len(res.Averted),
 		TraceURL:    "/debug/trace/" + rc.id,
+		prov:        ex,
 	}
 	if req.IncludeSchedule {
 		resp.Schedule = res.Sim.Schedule
@@ -408,7 +494,7 @@ func (s *Server) handleExecute(rc *requestCtx, w http.ResponseWriter, r *http.Re
 	rc.Set("faults", len(fp.Faults))
 	rc.Set("recoveries", len(res.Recoveries))
 	rc.record(planner, resp.N, resp.EnergyJ, len(resp.Misses))
-	writeJSON(w, http.StatusOK, resp)
+	rc.writeJSON(w, http.StatusOK, resp)
 }
 
 // planSchedule produces the fault-free plan /v1/execute perturbs. The
@@ -428,6 +514,52 @@ func (s *Server) planSchedule(ctx context.Context, tel *telemetry.Recorder, req 
 		return nil, "", errorCode(err), err
 	}
 	return res.Schedule, "sdem-on", 0, nil
+}
+
+// ExplainResponse is the /v1/explain result: the solved request's
+// headline numbers plus the full decision provenance.
+type ExplainResponse struct {
+	Request     string       `json:"request"`
+	Scheduler   string       `json:"scheduler"`
+	N           int          `json:"n"`
+	EnergyJ     float64      `json:"energy_j"`
+	Explanation *Explanation `json:"explanation"`
+	TraceURL    string       `json:"trace_url"`
+}
+
+// handleExplain solves (or simulates, when an online scheduler is named)
+// exactly like the compute endpoints — same canonical cache, so asking
+// why costs nothing when the schedule is already cached — and answers
+// with the per-gap race/sleep/crawl provenance instead of the schedule.
+func (s *Server) handleExplain(rc *requestCtx, w http.ResponseWriter, r *http.Request) {
+	var req TaskRequest
+	if !s.decode(rc, w, r, &req) {
+		return
+	}
+	var (
+		resp *TaskResponse
+		code int
+		err  error
+	)
+	if req.Scheduler == "" || req.Scheduler == "auto" {
+		resp, code, err = s.solveOne(r.Context(), rc.tel, &req, rc.id, rc.root())
+	} else {
+		resp, code, err = s.simulateOne(r.Context(), rc.tel, &req, rc.id, rc.root())
+	}
+	if err != nil {
+		httpError(rc, w, code, err)
+		return
+	}
+	rc.setProv(resp.prov)
+	rc.record(resp.Scheduler, resp.N, resp.EnergyJ, len(resp.Misses))
+	rc.writeJSON(w, http.StatusOK, ExplainResponse{
+		Request:     rc.id,
+		Scheduler:   resp.Scheduler,
+		N:           resp.N,
+		EnergyJ:     resp.EnergyJ,
+		Explanation: resp.prov,
+		TraceURL:    resp.TraceURL,
+	})
 }
 
 // BatchRequest fans many solve/simulate items over the worker pool.
@@ -459,6 +591,9 @@ type BatchResponse struct {
 // item computes on its own child recorder (pid = item index) and the
 // children merge back in index order — the sweep engine's determinism
 // pattern — so the batch's telemetry is identical at any pool width.
+// Each item also gets its own wall span under the request root (wspan is
+// append-safe across the pool's goroutines), so the trace shows the
+// pool's real overlap.
 func (s *Server) handleBatch(rc *requestCtx, w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	if !s.decode(rc, w, r, &req) {
@@ -480,19 +615,23 @@ func (s *Server) handleBatch(rc *requestCtx, w http.ResponseWriter, r *http.Requ
 	results, err := parallel.Map(r.Context(), s.cfg.Workers, len(req.Requests), func(ctx context.Context, i int) (BatchItemResult, error) {
 		item := &req.Requests[i]
 		id := fmt.Sprintf("%s.%d", rc.id, i)
+		isp := rc.span("item")
+		isp.NoteInt("index", int64(i))
+		defer isp.End()
 		var (
 			resp *TaskResponse
 			rerr error
 		)
 		switch item.Op {
 		case "", "solve":
-			resp, _, rerr = s.solveOne(ctx, children[i], &item.TaskRequest, id)
+			resp, _, rerr = s.solveOne(ctx, children[i], &item.TaskRequest, id, isp)
 		case "simulate":
-			resp, _, rerr = s.simulateOne(ctx, children[i], &item.TaskRequest, id)
+			resp, _, rerr = s.simulateOne(ctx, children[i], &item.TaskRequest, id, isp)
 		default:
 			rerr = fmt.Errorf("unknown op %q (want solve or simulate)", item.Op)
 		}
 		if rerr != nil {
+			isp.Note("error", rerr.Error())
 			return BatchItemResult{Error: rerr.Error()}, nil
 		}
 		resp.TraceURL = "/debug/trace/" + rc.id // items share the batch trace
@@ -522,7 +661,7 @@ func (s *Server) handleBatch(rc *requestCtx, w http.ResponseWriter, r *http.Requ
 	rc.Set("failed", failed)
 	rc.Set("energy_j", energy)
 	rc.Set("status", "ok")
-	rc.tel.ObserveL(metricEnergy, "route="+rc.route, energy)
-	rc.tel.ObserveL(metricTasks, "route="+rc.route, float64(len(results)))
-	writeJSON(w, http.StatusOK, BatchResponse{Request: rc.id, Results: results})
+	rc.tel.ObserveL(metricEnergy, rc.labels.route, energy)
+	rc.tel.ObserveL(metricTasks, rc.labels.route, float64(len(results)))
+	rc.writeJSON(w, http.StatusOK, BatchResponse{Request: rc.id, Results: results})
 }

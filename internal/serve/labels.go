@@ -1,0 +1,95 @@
+// Interned label sets for the serve layer's hot metric paths.
+//
+// Every request used to build its label strings by concatenation
+// ("code=" + itoa(code) + ",route=" + route), allocating on each of the
+// requests/shed/cache counter bumps — the telemetry miss-path allocation
+// ROADMAP's zero-alloc phase 3 tracks. Routes are fixed at construction
+// and the code/reason/outcome vocabularies are tiny, so the middleware
+// precomputes the full label strings per route once and the request path
+// only indexes read-only maps. Unlisted codes (a handler inventing a new
+// status) fall back to concatenation — correct, just not free.
+package serve
+
+import "strconv"
+
+// commonCodes are the status codes the serve layer can actually produce;
+// the interned table covers exactly these.
+var commonCodes = []int{200, 400, 404, 408, 413, 422, 429, 500, 503}
+
+// shedReasons mirrors the admission gate's shed vocabulary.
+var shedReasons = []string{shedQueueFull, shedDeadline, shedTimeout, shedBudget}
+
+// routeLabels is one route's interned label table, built once per route
+// at server construction and read-only afterwards.
+type routeLabels struct {
+	// route is the bare "route=R" label of the latency histogram.
+	route string
+	// codes maps status code → "code=NNN,route=R".
+	codes map[int]string
+	// shed maps reason → "reason=X,route=R".
+	shed map[string]string
+}
+
+func newRouteLabels(route string) *routeLabels {
+	l := &routeLabels{
+		route: "route=" + route,
+		codes: make(map[int]string, len(commonCodes)),
+		shed:  make(map[string]string, len(shedReasons)),
+	}
+	for _, c := range commonCodes {
+		l.codes[c] = "code=" + strconv.Itoa(c) + "," + l.route
+	}
+	for _, r := range shedReasons {
+		l.shed[r] = "reason=" + r + "," + l.route
+	}
+	return l
+}
+
+// code returns the interned "code=NNN,route=R" label, falling back to
+// concatenation for codes outside the common set.
+//
+//sdem:hotpath
+func (l *routeLabels) code(code int) string {
+	if s, ok := l.codes[code]; ok {
+		return s
+	}
+	// Unlisted status codes are exceptional; the common set is interned.
+	return "code=" + strconv.Itoa(code) + "," + l.route
+}
+
+// shedReason returns the interned "reason=X,route=R" label.
+//
+//sdem:hotpath
+func (l *routeLabels) shedReason(reason string) string {
+	if s, ok := l.shed[reason]; ok {
+		return s
+	}
+	// Unknown reasons cannot occur; the fallback keeps labels well-formed.
+	return "reason=" + reason + "," + l.route
+}
+
+// cacheLabels interns the "op=O,result=R" labels of the schedule-cache
+// counter for the fixed op × outcome vocabulary.
+var cacheLabels = func() map[string]map[cacheOutcome]string {
+	m := make(map[string]map[cacheOutcome]string)
+	for _, op := range []string{"solve", "simulate"} {
+		m[op] = make(map[cacheOutcome]string, 3)
+		for _, out := range []cacheOutcome{cacheMiss, cacheHit, cacheCoalesced} {
+			m[op][out] = "op=" + op + ",result=" + string(out)
+		}
+	}
+	return m
+}()
+
+// cacheLabel returns the interned cache-counter label.
+//
+//sdem:hotpath
+func cacheLabel(op string, outcome cacheOutcome) string {
+	if byOut, ok := cacheLabels[op]; ok {
+		if s, ok := byOut[outcome]; ok {
+			return s
+		}
+	}
+	// Only solve/simulate use the cache today; fallback for future ops.
+	return "op=" + op + ",result=" + string(outcome)
+}

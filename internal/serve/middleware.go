@@ -1,14 +1,17 @@
 // Request middleware: ID assignment, deadline budgets, admission
 // control, panic containment, chaos taps, per-request child recorders,
-// structured logging, and the service's wall-clock series.
+// wall-clock span trees, structured logging, and the service's
+// wall-clock series.
 //
-// This file is the module's ONLY wall-clock site outside
-// internal/telemetry (enforced by the telemetrycheck analyzer): request
-// latency and service time are inherently wall quantities, and they stay
-// quarantined here — handlers and solvers below the middleware see
-// virtual time only (plus the deadline context, whose polls are
-// pass/fail and never leak a timestamp), so every metric they record
-// remains deterministic in the request sequence.
+// This file is the module's ONLY wall-clock site outside the telemetry
+// quarantine (internal/telemetry and internal/telemetry/wspan, enforced
+// by the telemetrycheck analyzer): request latency and service time are
+// inherently wall quantities, and they stay quarantined here — handlers
+// and solvers below the middleware see virtual time only (plus the
+// deadline context, whose polls are pass/fail and never leak a
+// timestamp, and opaque wspan handles whose clock reads live inside the
+// quarantine), so every metric they record remains deterministic in the
+// request sequence.
 package serve
 
 import (
@@ -24,6 +27,7 @@ import (
 
 	"sdem/internal/faults"
 	"sdem/internal/telemetry"
+	"sdem/internal/telemetry/wspan"
 )
 
 // Metric names of the serving layer.
@@ -31,7 +35,8 @@ const (
 	// metricRequests counts finished requests by route and status code.
 	metricRequests = "sdem.serve.requests"
 	// metricLatency is the wall request latency histogram by route — the
-	// one nondeterministic metric family of the exposition.
+	// one nondeterministic metric family of the exposition. Sampled
+	// requests attach a trace_id exemplar to the bucket they land in.
 	metricLatency = "sdem.serve.latency_s"
 	// metricInflight gauges currently executing requests.
 	metricInflight = "sdem.serve.inflight"
@@ -56,14 +61,19 @@ const (
 
 // requestCtx is the per-request state the middleware hands each API
 // handler: the request ID, the child recorder all solver work records
-// into, and the structured-log fields the handler attaches.
+// into, the wall-clock span tree (nil when the request is not sampled —
+// wspan no-ops on nil), the route's interned metric labels, and the
+// structured-log fields the handler attaches.
 type requestCtx struct {
-	id    string
-	route string // path part of the route pattern, e.g. "/v1/solve"
-	tel   *telemetry.Recorder
+	id     string
+	route  string // path part of the route pattern, e.g. "/v1/solve"
+	tel    *telemetry.Recorder
+	wall   *wspan.Trace
+	labels *routeLabels
 
 	mu    sync.Mutex
 	attrs []slog.Attr
+	prov  *Explanation // decision provenance of the request's schedule
 }
 
 // Set attaches a structured-log field to the request's completion line
@@ -71,6 +81,26 @@ type requestCtx struct {
 func (rc *requestCtx) Set(key string, value any) {
 	rc.mu.Lock()
 	rc.attrs = append(rc.attrs, slog.Any(key, value))
+	rc.mu.Unlock()
+}
+
+// span opens a direct child of the request's root span; inert when the
+// request is unsampled.
+func (rc *requestCtx) span(name string) wspan.Span {
+	return rc.wall.Root().Start(name)
+}
+
+// root returns the request's root span handle (inert when unsampled).
+func (rc *requestCtx) root() wspan.Span { return rc.wall.Root() }
+
+// setProv attaches the request's decision provenance for /debug/trace
+// and /v1/explain. Handlers call it once the schedule is known.
+func (rc *requestCtx) setProv(ex *Explanation) {
+	if ex == nil {
+		return
+	}
+	rc.mu.Lock()
+	rc.prov = ex
 	rc.mu.Unlock()
 }
 
@@ -117,39 +147,57 @@ func (s *Server) budgetOf(r *http.Request) (time.Duration, error) {
 }
 
 // middleware wraps an API handler: assigns the monotone request ID,
-// resolves the deadline budget, runs the route's admission gate, creates
-// the child recorder (pid = request ID, the sweep engine's per-work-item
-// pattern), contains handler panics, logs one structured completion
-// line, feeds the route latency histogram and in-flight gauge, folds the
-// child's metrics into the root recorder, and parks the child in the
-// trace ring.
+// starts the wall-clock trace (adopting an incoming W3C traceparent when
+// sampled), reserves the request's trace-ring slot, resolves the
+// deadline budget, runs the route's admission gate, creates the child
+// recorder (pid = request ID, the sweep engine's per-work-item pattern),
+// contains handler panics, logs one structured completion line, feeds
+// the route latency histogram (with a trace-ID exemplar when sampled)
+// and in-flight gauge, folds the child's metrics into the root recorder,
+// and seals the ring entry with the child, span tree and provenance.
 func (s *Server) middleware(pattern string, h apiHandler) http.Handler {
 	route := pattern
 	if _, r, ok := strings.Cut(pattern, " "); ok {
 		route = r
 	}
-	routeLabel := "route=" + route
+	lbl := s.labels[route]
 	g := s.gates[route]
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := s.reqID.Add(1)
-		rc := &requestCtx{id: strconv.FormatInt(id, 10), route: route, tel: s.tel.Child(int(id))}
+		rc := &requestCtx{id: strconv.FormatInt(id, 10), route: route, labels: lbl, tel: s.tel.Child(int(id))}
+		if k := s.cfg.TraceSample; k > 0 && id%int64(k) == 0 {
+			rc.wall, _ = wspan.ParseTraceparent(r.Header.Get("traceparent"), "request")
+		}
+		entry := s.ring.reserve(rc.id, rc.wall.TraceID())
 		sw := &statusWriter{ResponseWriter: w}
+		if rc.wall != nil {
+			sw.Header().Set("Traceparent", rc.wall.Traceparent())
+		}
 		s.tel.Gauge(metricInflight, float64(s.inflight.Add(1)))
 
 		//lint:allow telemetrycheck: request latency is a wall quantity by definition and feeds only the exposition's nondeterministic latency family
 		start := time.Now()
-		s.serveOne(rc, sw, r, h, g, routeLabel, id)
+		s.serveOne(rc, sw, r, h, g, id)
 		//lint:allow telemetrycheck: see start above — the matching end of the wall-latency measurement
 		latency := time.Since(start)
+		rc.wall.Finish()
 
 		s.tel.Gauge(metricInflight, float64(s.inflight.Add(-1)))
 		if sw.code == 0 {
 			sw.code = http.StatusOK
 		}
-		s.tel.CountL(metricRequests, "code="+strconv.Itoa(sw.code)+","+routeLabel, 1)
-		s.tel.ObserveL(metricLatency, routeLabel, latency.Seconds())
+		s.tel.CountL(metricRequests, lbl.code(sw.code), 1)
+		traceID := rc.wall.TraceID()
+		if traceID != "" {
+			s.tel.ObserveExL(metricLatency, lbl.route, latency.Seconds(), "trace_id="+traceID)
+		} else {
+			s.tel.ObserveL(metricLatency, lbl.route, latency.Seconds())
+		}
 		s.tel.MergeMetrics(rc.tel)
-		s.ring.put(rc.id, rc.tel)
+		rc.mu.Lock()
+		prov := rc.prov
+		rc.mu.Unlock()
+		entry.seal(rc.tel, rc.wall, prov, route, sw.code)
 
 		rc.mu.Lock()
 		attrs := append([]slog.Attr{
@@ -160,13 +208,16 @@ func (s *Server) middleware(pattern string, h apiHandler) http.Handler {
 			slog.Float64("latency_ms", float64(latency.Nanoseconds())/1e6),
 		}, rc.attrs...)
 		rc.mu.Unlock()
+		if traceID != "" {
+			attrs = append(attrs, slog.String("trace_id", traceID))
+		}
 		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 	})
 }
 
 // serveOne runs the admission-controlled, budget-bounded, panic-contained
 // part of one request: everything between the latency measurement points.
-func (s *Server) serveOne(rc *requestCtx, sw *statusWriter, r *http.Request, h apiHandler, g *gate, routeLabel string, id int64) {
+func (s *Server) serveOne(rc *requestCtx, sw *statusWriter, r *http.Request, h apiHandler, g *gate, id int64) {
 	budget, err := s.budgetOf(r)
 	if err != nil {
 		httpError(rc, sw, http.StatusBadRequest, err)
@@ -178,11 +229,15 @@ func (s *Server) serveOne(rc *requestCtx, sw *statusWriter, r *http.Request, h a
 	r = r.WithContext(ctx)
 
 	if g != nil {
+		asp := rc.span("admission")
 		ok, reason, retryAfter := g.admit(ctx, budget)
 		if !ok {
-			s.shed(rc, sw, routeLabel, reason, retryAfter)
+			asp.Note("shed", reason)
+			asp.End()
+			s.shed(rc, sw, reason, retryAfter)
 			return
 		}
+		asp.End()
 		//lint:allow telemetrycheck: service time (execution only, queue wait excluded) seeds the admission gate's EWMA and exists only on the wall clock
 		execStart := time.Now()
 		defer func() {
@@ -191,13 +246,13 @@ func (s *Server) serveOne(rc *requestCtx, sw *statusWriter, r *http.Request, h a
 		}()
 	}
 
-	s.invoke(rc, sw, r, h, routeLabel, id)
+	s.invoke(rc, sw, r, h, id)
 
 	// A 429 after admission means the budget expired mid-computation and
 	// a cancellation checkpoint abandoned the solve.
 	if sw.code == http.StatusTooManyRequests {
 		sw.Header().Set("Retry-After", "1")
-		s.tel.CountL(metricShed, "reason="+shedBudget+","+routeLabel, 1)
+		s.tel.CountL(metricShed, rc.labels.shedReason(shedBudget), 1)
 		rc.Set("shed", shedBudget)
 	}
 }
@@ -205,12 +260,12 @@ func (s *Server) serveOne(rc *requestCtx, sw *statusWriter, r *http.Request, h a
 // shed refuses a request at the admission gate: 429, a Retry-After hint,
 // and the shed-reason counter. Shedding never reaches a handler, so it
 // costs microseconds no matter how overloaded the solvers are.
-func (s *Server) shed(rc *requestCtx, sw *statusWriter, routeLabel, reason string, retryAfter int) {
-	s.tel.CountL(metricShed, "reason="+reason+","+routeLabel, 1)
+func (s *Server) shed(rc *requestCtx, sw *statusWriter, reason string, retryAfter int) {
+	s.tel.CountL(metricShed, rc.labels.shedReason(reason), 1)
 	rc.Set("status", "shed")
 	rc.Set("shed", reason)
 	sw.Header().Set("Retry-After", strconv.Itoa(retryAfter))
-	writeJSON(sw, http.StatusTooManyRequests,
+	rc.writeJSON(sw, http.StatusTooManyRequests,
 		errorResponse{Error: "overloaded: " + reason + "; retry after " + strconv.Itoa(retryAfter) + "s"})
 }
 
@@ -218,21 +273,21 @@ func (s *Server) shed(rc *requestCtx, sw *statusWriter, routeLabel, reason strin
 // panic becomes a 500 plus a counter increment instead of a dead
 // connection — and if the handler had already started a response body,
 // the status stands but the connection still survives the recover.
-func (s *Server) invoke(rc *requestCtx, sw *statusWriter, r *http.Request, h apiHandler, routeLabel string, id int64) {
+func (s *Server) invoke(rc *requestCtx, sw *statusWriter, r *http.Request, h apiHandler, id int64) {
 	defer func() {
 		if p := recover(); p != nil {
-			s.tel.CountL(metricPanics, routeLabel, 1)
+			s.tel.CountL(metricPanics, rc.labels.route, 1)
 			rc.Set("status", "panic")
 			rc.Set("panic", fmt.Sprint(p))
 			if sw.code == 0 {
-				writeJSON(sw, http.StatusInternalServerError,
+				rc.writeJSON(sw, http.StatusInternalServerError,
 					errorResponse{Error: "internal error: handler panicked"})
 			}
 		}
 	}()
 	if s.cfg.Chaos != nil {
 		if f, ok := s.cfg.Chaos.At(id); ok {
-			s.tel.CountL(metricChaos, "kind="+f.Kind.String()+","+routeLabel, 1)
+			s.tel.CountL(metricChaos, "kind="+f.Kind.String()+","+rc.labels.route, 1)
 			rc.Set("chaos", f.Kind.String())
 			switch f.Kind {
 			case faults.ServeLatency:

@@ -1,0 +1,141 @@
+// Trace-ring tests: the reserve/seal protocol, atomic eviction 404s,
+// trace-ID indexing, and the -race hammering that pins the fix for the
+// historical lookup race (a request visible in a response's trace_url
+// before its ring entry existed).
+package serve
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+
+	"sdem/internal/telemetry"
+	"sdem/internal/telemetry/wspan"
+)
+
+// TestRingReserveSeal checks a reader that arrives between reserve and
+// seal blocks on the done channel and then sees the sealed payload.
+func TestRingReserveSeal(t *testing.T) {
+	r := newTraceRing(4)
+	tr := wspan.New("request")
+	e := r.reserve("1", tr.TraceID())
+
+	got, ok := r.get("1")
+	if !ok || got != e {
+		t.Fatalf("reserved entry not visible: %v %v", got, ok)
+	}
+	select {
+	case <-got.done:
+		t.Fatal("entry done before seal")
+	default:
+	}
+
+	rec := telemetry.New()
+	e.seal(rec, tr, nil, "/v1/solve", 200)
+	<-got.done
+	if got.rec != rec || got.wall != tr || got.route != "/v1/solve" || got.status != 200 {
+		t.Errorf("sealed payload wrong: %+v", got)
+	}
+
+	// Trace-ID lookup resolves to the same entry.
+	if byTrace, ok := r.get(tr.TraceID()); !ok || byTrace != e {
+		t.Errorf("trace-ID lookup failed: %v %v", byTrace, ok)
+	}
+}
+
+// TestRingEvictionAtomic404 fills the ring past capacity: evicted IDs
+// (and their trace IDs) must atomically 404 while survivors resolve.
+func TestRingEvictionAtomic404(t *testing.T) {
+	r := newTraceRing(2)
+	traces := make([]*wspan.Trace, 3)
+	for i := 0; i < 3; i++ {
+		traces[i] = wspan.New("request")
+		id := strconv.Itoa(i + 1)
+		e := r.reserve(id, traces[i].TraceID())
+		e.seal(telemetry.New(), traces[i], nil, "/v1/solve", 200)
+	}
+	if _, ok := r.get("1"); ok {
+		t.Error("evicted request ID still resolves")
+	}
+	if _, ok := r.get(traces[0].TraceID()); ok {
+		t.Error("evicted trace ID still resolves")
+	}
+	for i := 1; i < 3; i++ {
+		if _, ok := r.get(strconv.Itoa(i + 1)); !ok {
+			t.Errorf("survivor %d missing", i+1)
+		}
+	}
+}
+
+// TestRingDisabled checks a zero-size ring degrades cleanly: reserve
+// returns nil, seal on nil no-ops, get always misses.
+func TestRingDisabled(t *testing.T) {
+	r := newTraceRing(0)
+	e := r.reserve("1", "")
+	if e != nil {
+		t.Fatalf("zero ring reserved an entry: %+v", e)
+	}
+	e.seal(telemetry.New(), nil, nil, "/v1/solve", 200) // must not panic
+	if _, ok := r.get("1"); ok {
+		t.Error("zero ring resolved an ID")
+	}
+}
+
+// TestRingEvictionRace hammers concurrent reserve/seal cycles against
+// readers on a tiny ring; under -race this pins the eviction fix — every
+// lookup either misses cleanly or returns an entry whose payload, after
+// done, is fully sealed and matches the ID it was stored under.
+func TestRingEvictionRace(t *testing.T) {
+	r := newTraceRing(4)
+	const writers, perWriter = 8, 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := strconv.Itoa(g*perWriter + i)
+				tr := wspan.New("request")
+				e := r.reserve(id, tr.TraceID())
+				sp := tr.Root().Start("solve")
+				sp.End()
+				e.seal(telemetry.New(), tr, nil, "/v1/solve", 200)
+			}
+		}(g)
+	}
+
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			for i := 0; ; i = (i + 7) % (writers * perWriter) {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := strconv.Itoa(i)
+				e, ok := r.get(id)
+				if !ok {
+					continue
+				}
+				<-e.done
+				if e.id != id {
+					t.Errorf("entry for %q carries id %q", id, e.id)
+					return
+				}
+				if e.rec == nil || e.wall == nil || e.status != 200 {
+					t.Errorf("torn payload for %q: %+v", id, e)
+					return
+				}
+			}
+		}(g)
+	}
+
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+}

@@ -25,7 +25,9 @@
 package serve
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"log/slog"
 	"net"
 	"net/http"
@@ -77,6 +79,13 @@ type Config struct {
 	// CacheSize bounds the coalescing schedule cache in responses
 	// (default 4096); negative disables caching.
 	CacheSize int
+	// TraceSample selects which requests get a wall-clock span tree:
+	// every TraceSample-th request ID is sampled (1 — the default —
+	// traces everything; negative disables wall tracing). Virtual-time
+	// traces and metrics are unaffected either way, and response bodies
+	// are byte-identical with tracing on or off — sampling only adds
+	// headers, exemplars and /debug/trace detail.
+	TraceSample int
 	// Chaos, when non-nil, injects the plan's serve-layer faults
 	// (latency, errors, panics) by request ordinal — deterministic and
 	// replayable under a fixed plan seed.
@@ -126,6 +135,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize == 0 {
 		c.CacheSize = 4096
 	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 1
+	}
 	if c.ReadTimeout <= 0 {
 		c.ReadTimeout = 30 * time.Second
 	}
@@ -156,6 +168,8 @@ type Server struct {
 
 	// gates are the per-compute-route admission controllers.
 	gates map[string]*gate
+	// labels are the per-route interned metric label tables.
+	labels map[string]*routeLabels
 	// cache is the coalescing schedule cache; nil when disabled.
 	cache *schedCache
 }
@@ -164,12 +178,13 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		log:   cfg.Logger,
-		tel:   telemetry.New(),
-		mux:   http.NewServeMux(),
-		ring:  newTraceRing(cfg.RingSize),
-		gates: make(map[string]*gate),
+		cfg:    cfg,
+		log:    cfg.Logger,
+		tel:    telemetry.New(),
+		mux:    http.NewServeMux(),
+		ring:   newTraceRing(cfg.RingSize),
+		gates:  make(map[string]*gate),
+		labels: make(map[string]*routeLabels),
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = newSchedCache(cfg.CacheSize)
@@ -183,6 +198,7 @@ func New(cfg Config) *Server {
 	s.handle("POST /v1/simulate", s.handleSimulate)
 	s.handle("POST /v1/execute", s.handleExecute)
 	s.handle("POST /v1/batch", s.handleBatch)
+	s.handle("POST /v1/explain", s.handleExplain)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -216,6 +232,7 @@ func (s *Server) handle(pattern string, h apiHandler) {
 		route = r
 	}
 	s.gates[route] = newGate(s.cfg.Concurrency, s.cfg.QueueDepth)
+	s.labels[route] = newRouteLabels(route)
 	s.mux.Handle(pattern, s.middleware(pattern, h))
 }
 
@@ -241,18 +258,80 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-// handleTrace replays a recent request's virtual-time span trace as
-// Chrome trace_event JSON (load in ui.perfetto.dev). 404 when the
-// request was never traced or has been evicted from the ring.
+// traceDoc is the combined /debug/trace/{id} document: the request's
+// identity and outcome, its wall-clock span tree, the schedule's
+// decision provenance, and the virtual-time Chrome trace replay (load
+// the virtual_trace value in ui.perfetto.dev).
+type traceDoc struct {
+	Request string `json:"request"`
+	Route   string `json:"route"`
+	Status  int    `json:"status"`
+	TraceID string `json:"trace_id,omitempty"`
+	// WallTrace is the wspan span tree (absent when the request was not
+	// sampled for wall tracing).
+	WallTrace json.RawMessage `json:"wall_trace,omitempty"`
+	// Provenance is the per-gap race/sleep/crawl record (absent on
+	// requests that produced no schedule).
+	Provenance *Explanation `json:"provenance,omitempty"`
+	// VirtualTrace is the Chrome trace_event replay of the request's
+	// virtual-time solver spans.
+	VirtualTrace json.RawMessage `json:"virtual_trace,omitempty"`
+}
+
+// handleTrace replays a recent request's trace. The ID is a request ID
+// or a 32-hex wall trace ID (the form latency exemplars carry). The ring
+// lookup is atomic — a reserved-but-unfinished request blocks until its
+// entry seals rather than flapping 404 — and an evicted ID is a clean
+// 404, never a torn entry.
+//
+// Formats: default is the combined traceDoc; ?format=chrome is the bare
+// Chrome trace_event document; ?format=wall is the bare wspan JSONL
+// record (what cmd/sdemtrace aggregates).
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	rec, ok := s.ring.get(r.PathValue("id"))
+	e, ok := s.ring.get(r.PathValue("id"))
 	if !ok {
 		http.Error(w, "trace not found (evicted or unknown request id)", http.StatusNotFound)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := rec.WriteChromeTrace(w); err != nil {
-		s.log.Error("trace replay failed", "err", err)
+	select {
+	case <-e.done:
+	case <-r.Context().Done():
+		return // client gave up while the request was still in flight
+	}
+	switch r.URL.Query().Get("format") {
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		if err := e.rec.WriteChromeTrace(w); err != nil {
+			s.log.Error("trace replay failed", "err", err)
+		}
+	case "wall":
+		if e.wall == nil {
+			http.Error(w, "request was not sampled for wall tracing", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := e.wall.WriteJSON(w); err != nil {
+			s.log.Error("wall trace write failed", "err", err)
+		}
+	default:
+		doc := traceDoc{Request: e.id, Route: e.route, Status: e.status, Provenance: e.prov}
+		if e.wall != nil {
+			doc.TraceID = e.wall.TraceID()
+			doc.WallTrace = e.wall.AppendJSON(nil)
+		}
+		var buf bytes.Buffer
+		if err := e.rec.WriteChromeTrace(&buf); err == nil {
+			doc.VirtualTrace = bytes.TrimSpace(buf.Bytes())
+		}
+		// Compact marshal (not the indented writeJSON) keeps the embedded
+		// raw documents byte-exact.
+		out, err := json.Marshal(doc)
+		if err != nil {
+			http.Error(w, "trace encoding failed", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(out, '\n'))
 	}
 }
 

@@ -242,12 +242,15 @@ func TestBatchWorkerCountIndependent(t *testing.T) {
 }
 
 // seriesOf reduces an exposition to its series identities (sample lines
-// with the value stripped), preserving order.
+// with the value and any trace-ID exemplar stripped), preserving order.
 func seriesOf(exposition string) []string {
 	var out []string
 	for _, line := range strings.Split(exposition, "\n") {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
+		}
+		if i := strings.Index(line, " # "); i > 0 {
+			line = line[:i] // exemplar suffix carries a per-run trace ID
 		}
 		if i := strings.LastIndexByte(line, ' '); i > 0 {
 			out = append(out, line[:i])

@@ -53,4 +53,33 @@ func BenchmarkTelemetryEnabled(b *testing.B) {
 	sink = acc
 }
 
+// BenchmarkChildSpawn documents the per-request recorder cost on the
+// serve path: spawning a child that records nothing must cost exactly
+// one allocation (the Recorder struct — no metric maps, no layout copy),
+// which is what made lazy map initialization worth it.
+func BenchmarkChildSpawn(b *testing.B) {
+	root := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := root.Child(i)
+		if c == nil {
+			b.Fatal("nil child")
+		}
+	}
+}
+
+// BenchmarkChildRequest is the serve-path shape end to end: child spawn,
+// a labeled counter + latency observation with an exemplar, and a
+// metrics-only merge back into the root.
+func BenchmarkChildRequest(b *testing.B) {
+	root := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := root.Child(i)
+		c.CountL("sdem.bench.requests", "code=200,route=solve", 1)
+		c.ObserveExL("sdem.bench.latency_s", "route=solve", workload(i)*1e-3, "trace_id=00f067aa0ba902b7")
+		root.MergeMetrics(c)
+	}
+}
+
 var sink float64

@@ -21,6 +21,12 @@
 //	hist     name{...}    →  # TYPE name histogram; name_bucket{...,le="e"} cum …
 //	                          name_bucket{...,le="+Inf"} n; name_sum; name_count
 //
+// Histogram buckets that captured an exemplar (Snapshot's sparse
+// HistPoint.Exemplars, by convention `trace_id=<hex>`) carry the
+// OpenMetrics exemplar suffix ` # {trace_id="…"} value` after the
+// bucket's sample value; exemplars are timestampless, matching the
+// samples.
+//
 // Dots in metric names become underscores ("sdem.sim.energy_j" →
 // "sdem_sim_energy_j"). A metric name must be used as only one kind
 // (counter, float, gauge or histogram) — the recorder API makes mixing a
@@ -96,15 +102,34 @@ func writeHistograms(b *strings.Builder, hs []telemetry.HistPoint) {
 			fmt.Fprintf(b, "# TYPE %s histogram\n", name)
 			prev = h.Name
 		}
-		var cum uint64
+		ex, cum := h.Exemplars, uint64(0)
 		for i, e := range h.Edges {
 			cum += h.Counts[i]
-			sample(b, name+"_bucket", h.Labels, `le="`+ftoa(e)+`"`, strconv.FormatUint(cum, 10))
+			sample(b, name+"_bucket", h.Labels, `le="`+ftoa(e)+`"`, strconv.FormatUint(cum, 10)+exemplarFor(&ex, i))
 		}
-		sample(b, name+"_bucket", h.Labels, `le="+Inf"`, strconv.FormatUint(h.Count, 10))
+		sample(b, name+"_bucket", h.Labels, `le="+Inf"`, strconv.FormatUint(h.Count, 10)+exemplarFor(&ex, len(h.Edges)))
 		sample(b, name+"_sum", h.Labels, "", ftoa(h.Sum))
 		sample(b, name+"_count", h.Labels, "", strconv.FormatUint(h.Count, 10))
 	}
+}
+
+// exemplarFor renders the OpenMetrics exemplar suffix for bucket i —
+// ` # {trace_id="..."} value`, appended after the bucket's sample value —
+// consuming the head of the sorted sparse exemplar list as buckets are
+// walked in order. Timestampless exemplars are valid OpenMetrics and keep
+// the exposition free of wall-clock reads.
+func exemplarFor(ex *[]telemetry.ExemplarPoint, i int) string {
+	if len(*ex) == 0 || (*ex)[0].Bucket != i {
+		return ""
+	}
+	e := (*ex)[0]
+	*ex = (*ex)[1:]
+	var b strings.Builder
+	b.WriteString(" # {")
+	writeLabels(&b, e.Labels)
+	b.WriteString("} ")
+	b.WriteString(ftoa(e.Value))
+	return b.String()
 }
 
 // sample writes one exposition line: name{rendered labels[,extra]} value.

@@ -119,3 +119,33 @@ func TestExpositionShape(t *testing.T) {
 		t.Errorf("family header repeated:\n%s", out)
 	}
 }
+
+// TestExemplarRendering checks the OpenMetrics exemplar suffix: a bucket
+// that captured an exemplar carries ` # {trace_id="…"} value` after its
+// sample value, buckets without one are untouched, and the suffix never
+// leaks onto _sum/_count lines.
+func TestExemplarRendering(t *testing.T) {
+	r := telemetry.New()
+	r.RegisterHistogram("sdem.serve.latency_s", []float64{0.001, 0.01, 0.1})
+	r.ObserveExL("sdem.serve.latency_s", "route=solve", 0.002, "trace_id=4bf92f3577b34da6")
+	r.ObserveL("sdem.serve.latency_s", "route=solve", 0.05)
+	var buf bytes.Buffer
+	if err := WriteOpenMetrics(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := `sdem_serve_latency_s_bucket{route="solve",le="0.01"} 1 # {trace_id="4bf92f3577b34da6"} 0.002`
+	if !strings.Contains(out, want+"\n") {
+		t.Errorf("exposition missing exemplar line %q:\n%s", want, out)
+	}
+	if !strings.Contains(out, `sdem_serve_latency_s_bucket{route="solve",le="0.1"} 2`+"\n") {
+		t.Errorf("exemplar-free bucket perturbed:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "_sum") || strings.Contains(line, "_count") {
+			if strings.Contains(line, "#") {
+				t.Errorf("exemplar leaked onto summary line %q", line)
+			}
+		}
+	}
+}

@@ -24,19 +24,30 @@ type FloatPoint struct {
 	Value  float64
 }
 
+// ExemplarPoint links one histogram bucket to the labeled event (by
+// convention a trace_id) whose observation most recently landed there.
+type ExemplarPoint struct {
+	Bucket int    // index into Counts; len(Edges) is the +Inf bucket
+	Labels string // canonical "k=v,k=v" form, e.g. `trace_id=abc123`
+	Value  float64
+}
+
 // HistPoint is one histogram instance of a snapshot. Counts holds the
 // per-bucket (non-cumulative) observation counts; Counts[len(Edges)] is
 // the +Inf overflow bucket. Edges is shared with the recorder's layout
-// and must be treated as immutable.
+// and must be treated as immutable. Exemplars is sparse (only buckets
+// that captured one appear) and sorted by bucket index; nil when the
+// histogram never recorded an exemplar.
 type HistPoint struct {
-	Name   string
-	Labels string
-	Edges  []float64
-	Counts []uint64
-	Count  uint64
-	Sum    float64
-	Min    float64 // 0 when Count == 0
-	Max    float64 // 0 when Count == 0
+	Name      string
+	Labels    string
+	Edges     []float64
+	Counts    []uint64
+	Count     uint64
+	Sum       float64
+	Min       float64 // 0 when Count == 0
+	Max       float64 // 0 when Count == 0
+	Exemplars []ExemplarPoint
 }
 
 // Snapshot is a consistent copy of a Recorder's metric state. Every
@@ -93,10 +104,17 @@ func (r *Recorder) Snapshot() Snapshot {
 			if h.count == 0 {
 				mn, mx = 0, 0
 			}
+			var ex []ExemplarPoint
+			for i, e := range h.exemplars {
+				if e.set {
+					ex = append(ex, ExemplarPoint{Bucket: i, Labels: e.labels, Value: e.value})
+				}
+			}
 			s.Hists = append(s.Hists, HistPoint{
 				Name: k.name, Labels: k.labels,
 				Edges: h.edges, Counts: counts,
 				Count: h.count, Sum: h.sum, Min: mn, Max: mx,
+				Exemplars: ex,
 			})
 		}
 	}

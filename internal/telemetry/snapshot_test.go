@@ -3,6 +3,9 @@ package telemetry
 import (
 	"math"
 	"reflect"
+	"strconv"
+	"strings"
+	"sync"
 	"testing"
 )
 
@@ -106,6 +109,120 @@ func TestMergeMetrics(t *testing.T) {
 	// The child still owns its trace.
 	if got := len(c.Events()); got != 1 {
 		t.Errorf("child lost its events: %d, want 1", got)
+	}
+}
+
+// TestExemplarFlow checks the exemplar pipeline end to end inside the
+// recorder: ObserveExL pins per-bucket exemplars, merge propagates them
+// child-wins, and Snapshot surfaces them sparse and bucket-sorted.
+func TestExemplarFlow(t *testing.T) {
+	r := New()
+	r.RegisterHistogram("lat", []float64{0.1, 1, 10})
+	c1 := r.Child(1)
+	c1.ObserveExL("lat", "route=solve", 0.05, "trace_id=aaa")
+	c1.ObserveExL("lat", "route=solve", 5, "trace_id=bbb")
+	c1.ObserveL("lat", "route=solve", 0.5) // no exemplar for this bucket
+	r.MergeMetrics(c1)
+	c2 := r.Child(2)
+	c2.ObserveExL("lat", "route=solve", 0.07, "trace_id=ccc") // overwrites bucket 0
+	r.MergeMetrics(c2)
+
+	s := r.Snapshot()
+	if len(s.Hists) != 1 {
+		t.Fatalf("hists = %+v", s.Hists)
+	}
+	want := []ExemplarPoint{
+		{Bucket: 0, Labels: "trace_id=ccc", Value: 0.07},
+		{Bucket: 2, Labels: "trace_id=bbb", Value: 5},
+	}
+	if !reflect.DeepEqual(s.Hists[0].Exemplars, want) {
+		t.Errorf("exemplars = %+v, want %+v", s.Hists[0].Exemplars, want)
+	}
+	if got := s.Hists[0].Count; got != 4 {
+		t.Errorf("count = %d, want 4", got)
+	}
+}
+
+// TestExemplarsAbsentFromMetricsDump pins the determinism boundary:
+// exemplars carry wall-clock-seeded trace IDs, so they must never leak
+// into the byte-stable WriteMetrics dump.
+func TestExemplarsAbsentFromMetricsDump(t *testing.T) {
+	with := New()
+	with.ObserveEx("h", 0.5, "trace_id=deadbeef")
+	without := New()
+	without.Observe("h", 0.5)
+	var a, b strings.Builder
+	if err := with.WriteMetrics(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := without.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("exemplars perturb the metrics dump:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestConcurrentSnapshotMergeExemplars hammers the server-shaped
+// lifecycle — many writers each spawning a child, recording labeled
+// metrics with exemplars, and merging back, while a scraper snapshots
+// concurrently — under -race, then checks the final dump and snapshot
+// are complete and byte-stable.
+func TestConcurrentSnapshotMergeExemplars(t *testing.T) {
+	root := New()
+	root.RegisterHistogram("lat", []float64{0.001, 0.01, 0.1, 1})
+	const writers, perWriter = 8, 200
+
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+	go func() { // concurrent scraper
+		defer close(scraperDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				snapSink = root.Snapshot()
+			}
+		}
+	}()
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < perWriter; i++ {
+				c := root.Child(w)
+				c.CountL("req", "route=solve", 1)
+				c.ObserveExL("lat", "route=solve", float64(i%7)*0.005, "trace_id=w"+strconv.Itoa(w))
+				root.MergeMetrics(c)
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	<-scraperDone
+
+	s := root.Snapshot()
+	if len(s.Counters) != 1 || s.Counters[0].Value != writers*perWriter {
+		t.Fatalf("counters = %+v, want one req counter at %d", s.Counters, writers*perWriter)
+	}
+	if len(s.Hists) != 1 || s.Hists[0].Count != writers*perWriter {
+		t.Fatalf("hists = %+v, want one lat hist at %d", s.Hists, writers*perWriter)
+	}
+	if len(s.Hists[0].Exemplars) == 0 {
+		t.Error("no exemplars survived the merges")
+	}
+	// Byte-stability: repeated dumps of the now-quiescent state match.
+	var d1, d2 strings.Builder
+	if err := root.WriteMetrics(&d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.WriteMetrics(&d2); err != nil {
+		t.Fatal(err)
+	}
+	if d1.String() != d2.String() {
+		t.Error("metrics dump not byte-stable across repeated writes")
 	}
 }
 

@@ -70,16 +70,28 @@ type key struct {
 
 func (k key) String() string { return k.name + "{" + k.labels + "}" }
 
+// exemplar pins one recent observation in a histogram bucket to a label
+// set (canonical "k=v,k=v" form, typically a trace_id). Last write wins:
+// exemplars are a sampling aid, not an accumulator.
+type exemplar struct {
+	labels string
+	value  float64
+	set    bool
+}
+
 // histogram is a fixed-layout distribution. counts[i] holds observations
 // in (edges[i-1], edges[i]] (the first bucket is (-Inf, edges[0]]);
-// counts[len(edges)] is the +Inf overflow bucket.
+// counts[len(edges)] is the +Inf overflow bucket. exemplars, when
+// non-nil, has one slot per bucket and is allocated lazily on the first
+// exemplar-carrying observation, so plain histograms pay nothing.
 type histogram struct {
-	edges  []float64
-	counts []uint64
-	count  uint64
-	sum    float64
-	min    float64
-	max    float64
+	edges     []float64
+	counts    []uint64
+	count     uint64
+	sum       float64
+	min       float64
+	max       float64
+	exemplars []exemplar
 }
 
 func newHistogram(edges []float64) *histogram {
@@ -103,6 +115,27 @@ func (h *histogram) observe(v float64) {
 	h.max = math.Max(h.max, v)
 }
 
+// observeEx records v and pins it as the bucket's exemplar. An empty
+// exemplar label set degenerates to a plain observation.
+func (h *histogram) observeEx(v float64, exLabels string) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.edges, v)
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	h.min = math.Min(h.min, v)
+	h.max = math.Max(h.max, v)
+	if exLabels == "" {
+		return
+	}
+	if h.exemplars == nil {
+		h.exemplars = make([]exemplar, len(h.edges)+1)
+	}
+	h.exemplars[i] = exemplar{labels: exLabels, value: v, set: true}
+}
+
 func (h *histogram) merge(o *histogram) {
 	if len(o.edges) != len(h.edges) {
 		return // layout mismatch: drop rather than corrupt (children copy layouts, so this cannot happen in-module)
@@ -114,6 +147,16 @@ func (h *histogram) merge(o *histogram) {
 	h.sum += o.sum
 	h.min = math.Min(h.min, o.min)
 	h.max = math.Max(h.max, o.max)
+	if o.exemplars != nil {
+		if h.exemplars == nil {
+			h.exemplars = make([]exemplar, len(h.counts))
+		}
+		for i, e := range o.exemplars {
+			if e.set {
+				h.exemplars[i] = e // child wins: the merge order is the arrival order
+			}
+		}
+	}
 }
 
 // Recorder collects metrics and trace events for one unit of work. A nil
@@ -129,7 +172,14 @@ type Recorder struct {
 	gauges   map[key]float64
 	hists    map[key]*histogram
 	layouts  map[string][]float64
-	events   []Event
+	// ownLayouts marks the layouts map as private to this recorder.
+	// Child shares the parent's map by reference (and clears the flag on
+	// both sides), so spawning a per-request child costs one struct
+	// allocation and zero maps; the first RegisterHistogram after
+	// sharing clones copy-on-write. A shared layouts map is never
+	// mutated, so lock-free reads from many children are safe.
+	ownLayouts bool
+	events     []Event
 
 	// Prof is the wall-clock profiler attached to the root recorder by
 	// New. Its measurements are explicitly outside the determinism
@@ -140,22 +190,11 @@ type Recorder struct {
 // New returns an enabled root Recorder with an attached Profiler and the
 // module's DefaultLayouts registered.
 func New() *Recorder {
-	r := &Recorder{Prof: NewProfiler()}
-	r.init()
+	r := &Recorder{Prof: NewProfiler(), ownLayouts: true}
 	for name, edges := range DefaultLayouts {
 		r.RegisterHistogram(name, edges)
 	}
 	return r
-}
-
-func (r *Recorder) init() {
-	r.counters = make(map[key]int64)
-	r.floats = make(map[key]float64)
-	r.gauges = make(map[key]float64)
-	r.hists = make(map[key]*histogram)
-	if r.layouts == nil {
-		r.layouts = make(map[string][]float64)
-	}
 }
 
 // Enabled reports whether the recorder records anything.
@@ -164,19 +203,21 @@ func (r *Recorder) Enabled() bool { return r != nil }
 // Child returns a new Recorder that inherits the parent's histogram
 // layouts and records under the given trace process ID. Sweeps give each
 // grid point a child (pid = grid index) and Merge the children back in
-// index order.
+// index order. The metric maps are created lazily on first write, so a
+// child on a request path that records nothing allocates one struct and
+// nothing else. Register all layouts before spawning children: sharing
+// freezes the parent's layout map (later registrations clone it and are
+// not seen by existing children, which then fall back to BucketsSeconds
+// for the new name).
 func (r *Recorder) Child(pid int) *Recorder {
 	if r == nil {
 		return nil
 	}
-	c := &Recorder{pid: pid, layouts: make(map[string][]float64)}
 	r.mu.Lock()
-	for n, e := range r.layouts {
-		c.layouts[n] = e
-	}
+	r.ownLayouts = false
+	layouts := r.layouts
 	r.mu.Unlock()
-	c.init()
-	return c
+	return &Recorder{pid: pid, layouts: layouts}
 }
 
 // RegisterHistogram fixes the bucket layout of every histogram named
@@ -193,6 +234,17 @@ func (r *Recorder) RegisterHistogram(name string, edges []float64) {
 		}
 	}
 	r.mu.Lock()
+	if !r.ownLayouts {
+		clone := make(map[string][]float64, len(r.layouts)+1)
+		for n, e := range r.layouts {
+			clone[n] = e
+		}
+		r.layouts = clone
+		r.ownLayouts = true
+	}
+	if r.layouts == nil {
+		r.layouts = make(map[string][]float64)
+	}
 	r.layouts[name] = edges
 	r.mu.Unlock()
 }
@@ -207,8 +259,23 @@ func (r *Recorder) CountL(name, labels string, delta int64) {
 		return
 	}
 	r.mu.Lock()
+	if r.counters == nil {
+		r.counters = make(map[key]int64) //lint:allow hotalloc: one-time lazy init on the recorder's first counter, not per call
+	}
 	r.counters[key{name, labels}] += delta
 	r.mu.Unlock()
+}
+
+// CounterValue returns the current value of the named, labeled counter,
+// or 0 if it has never been incremented (or the recorder is disabled).
+func (r *Recorder) CounterValue(name, labels string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	v := r.counters[key{name, labels}]
+	r.mu.Unlock()
+	return v
 }
 
 // Add accumulates v into the named float sum (e.g. joules).
@@ -220,6 +287,9 @@ func (r *Recorder) AddL(name, labels string, v float64) {
 		return
 	}
 	r.mu.Lock()
+	if r.floats == nil {
+		r.floats = make(map[key]float64)
+	}
 	r.floats[key{name, labels}] += v
 	r.mu.Unlock()
 }
@@ -234,6 +304,9 @@ func (r *Recorder) GaugeL(name, labels string, v float64) {
 		return
 	}
 	r.mu.Lock()
+	if r.gauges == nil {
+		r.gauges = make(map[key]float64)
+	}
 	r.gauges[key{name, labels}] = v
 	r.mu.Unlock()
 }
@@ -247,18 +320,49 @@ func (r *Recorder) ObserveL(name, labels string, v float64) {
 		return
 	}
 	r.mu.Lock()
-	k := key{name, labels}
+	h := r.hist(key{name, labels})
+	h.observe(v)
+	r.mu.Unlock()
+}
+
+// ObserveEx records v into the named histogram and pins it as the
+// exemplar of the bucket it lands in. exLabels is a canonical
+// "k=v,k=v" label set identifying the originating event — by convention
+// `trace_id=<hex>` — and is surfaced by Snapshot and the OpenMetrics
+// export, never by the deterministic WriteMetrics dump (trace IDs are
+// wall-clock-seeded and would break byte-stable dumps). An empty
+// exLabels degenerates to Observe.
+func (r *Recorder) ObserveEx(name string, v float64, exLabels string) {
+	r.ObserveExL(name, "", v, exLabels)
+}
+
+// ObserveExL is ObserveEx for a labeled histogram instance.
+func (r *Recorder) ObserveExL(name, labels string, v float64, exLabels string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	h := r.hist(key{name, labels})
+	h.observeEx(v, exLabels)
+	r.mu.Unlock()
+}
+
+// hist returns the histogram for k, creating it from the registered
+// layout (default BucketsSeconds) on first use. Callers hold r.mu.
+func (r *Recorder) hist(k key) *histogram {
 	h := r.hists[k]
 	if h == nil {
-		edges := r.layouts[name]
+		edges := r.layouts[k.name]
 		if edges == nil {
 			edges = BucketsSeconds
 		}
 		h = newHistogram(edges)
+		if r.hists == nil {
+			r.hists = make(map[key]*histogram) //lint:allow hotalloc: one-time lazy init on the recorder's first histogram, not per call
+		}
 		r.hists[k] = h
 	}
-	h.observe(v)
-	r.mu.Unlock()
+	return h
 }
 
 // Merge folds a child recorder into r: counters and float sums add,
@@ -284,14 +388,26 @@ func (r *Recorder) merge(c *Recorder, events bool) {
 	defer c.mu.Unlock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if len(c.counters) > 0 && r.counters == nil {
+		r.counters = make(map[key]int64, len(c.counters))
+	}
 	for _, k := range sortedKeys(c.counters) {
 		r.counters[k] += c.counters[k]
+	}
+	if len(c.floats) > 0 && r.floats == nil {
+		r.floats = make(map[key]float64, len(c.floats))
 	}
 	for _, k := range sortedKeys(c.floats) {
 		r.floats[k] += c.floats[k]
 	}
+	if len(c.gauges) > 0 && r.gauges == nil {
+		r.gauges = make(map[key]float64, len(c.gauges))
+	}
 	for _, k := range sortedKeys(c.gauges) {
 		r.gauges[k] = c.gauges[k]
+	}
+	if len(c.hists) > 0 && r.hists == nil {
+		r.hists = make(map[key]*histogram, len(c.hists))
 	}
 	hk := make([]key, 0, len(c.hists))
 	for k := range c.hists {

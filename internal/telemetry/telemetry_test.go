@@ -160,8 +160,10 @@ func TestEmptyHistogramDump(t *testing.T) {
 	r.ObserveL("empty", "", 1.5) // create, then rebuild empty via merge path
 	r2 := New()
 	r2.RegisterHistogram("empty", []float64{1, 2})
-	// Force an empty histogram instance directly.
-	r2.hists[key{"empty", ""}] = newHistogram([]float64{1, 2})
+	// Force an empty histogram instance via the lazy accessor.
+	r2.mu.Lock()
+	r2.hist(key{"empty", ""})
+	r2.mu.Unlock()
 	var buf bytes.Buffer
 	if err := r2.WriteMetrics(&buf); err != nil {
 		t.Fatal(err)

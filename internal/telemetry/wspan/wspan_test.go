@@ -1,0 +1,210 @@
+package wspan
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTraceIsInert(t *testing.T) {
+	var tr *Trace
+	if got := tr.TraceID(); got != "" {
+		t.Errorf("nil TraceID = %q", got)
+	}
+	if got := tr.Traceparent(); got != "" {
+		t.Errorf("nil Traceparent = %q", got)
+	}
+	if got := tr.ServerTiming(); got != "" {
+		t.Errorf("nil ServerTiming = %q", got)
+	}
+	if got := tr.Finish(); got != 0 {
+		t.Errorf("nil Finish = %v", got)
+	}
+	s := tr.Root()
+	s2 := s.Start("child") // must not panic
+	s2.Note("k", "v")
+	s2.NoteInt("n", 7)
+	s2.End()
+	s.End()
+	if got := string(tr.AppendJSON(nil)); got != "null" {
+		t.Errorf("nil AppendJSON = %q", got)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	orig := New("client")
+	header := orig.Traceparent()
+	if len(header) != 55 || !strings.HasPrefix(header, "00-") {
+		t.Fatalf("traceparent %q malformed", header)
+	}
+	adopted, ok := ParseTraceparent(header, "request")
+	if !ok {
+		t.Fatalf("ParseTraceparent rejected own header %q", header)
+	}
+	if adopted.TraceID() != orig.TraceID() {
+		t.Errorf("trace ID not adopted: %q != %q", adopted.TraceID(), orig.TraceID())
+	}
+	doc := string(adopted.AppendJSON(nil))
+	if !strings.Contains(doc, `"remote_parent":"`+header[36:52]+`"`) {
+		t.Errorf("remote parent %q missing from doc %s", header[36:52], doc)
+	}
+}
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"00-abc",
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // forbidden version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero parent
+		"00-4bf92f3577b34da6a3ce929d0e0e473Z-00f067aa0ba902b7-01", // non-hex
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // bad separator
+	}
+	for _, h := range cases {
+		tr, ok := ParseTraceparent(h, "request")
+		if ok {
+			t.Errorf("ParseTraceparent(%q) accepted", h)
+		}
+		if tr == nil || tr.TraceID() == "" {
+			t.Errorf("ParseTraceparent(%q) did not fall back to a fresh trace", h)
+		}
+	}
+}
+
+func TestTraceIDsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := New("r").TraceID()
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+// decodedDoc mirrors the AppendJSON layout for test decoding.
+type decodedDoc struct {
+	TraceID string `json:"trace_id"`
+	Spans   []struct {
+		Name    string            `json:"name"`
+		Parent  int32             `json:"parent"`
+		SpanID  string            `json:"span_id"`
+		StartNS int64             `json:"start_ns"`
+		DurNS   int64             `json:"dur_ns"`
+		Notes   map[string]string `json:"notes"`
+	} `json:"spans"`
+}
+
+func TestSpanTreeJSON(t *testing.T) {
+	tr := New("request")
+	adm := tr.Root().Start("admission")
+	adm.End()
+	solve := tr.Root().Start("solve")
+	solve.Note("cache", "miss")
+	solve.NoteInt("gaps", 3)
+	inner := solve.Start("audit")
+	inner.End()
+	solve.End()
+	tr.Finish()
+
+	var doc decodedDoc
+	if err := json.Unmarshal(tr.AppendJSON(nil), &doc); err != nil {
+		t.Fatalf("AppendJSON not valid JSON: %v\n%s", err, tr.AppendJSON(nil))
+	}
+	if len(doc.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(doc.Spans))
+	}
+	if doc.Spans[0].Name != "request" || doc.Spans[0].Parent != -1 {
+		t.Errorf("root span wrong: %+v", doc.Spans[0])
+	}
+	for i, sp := range doc.Spans {
+		if i > 0 && (sp.Parent < 0 || int(sp.Parent) >= i) {
+			t.Errorf("span %d (%s) has invalid parent %d", i, sp.Name, sp.Parent)
+		}
+		if sp.DurNS < 0 {
+			t.Errorf("span %d (%s) never ended", i, sp.Name)
+		}
+		if sp.StartNS < doc.Spans[0].StartNS {
+			t.Errorf("span %d starts before root", i)
+		}
+	}
+	if doc.Spans[2].Notes["cache"] != "miss" || doc.Spans[2].Notes["gaps"] != "3" {
+		t.Errorf("solve notes wrong: %v", doc.Spans[2].Notes)
+	}
+	if doc.Spans[3].Parent != 2 {
+		t.Errorf("audit parent = %d, want 2 (solve)", doc.Spans[3].Parent)
+	}
+}
+
+func TestServerTiming(t *testing.T) {
+	tr := New("request")
+	tr.Root().Start("admission").End()
+	s := tr.Root().Start("solve")
+	s.Start("audit").End() // grandchild: must not appear
+	s.End()
+	open := tr.Root().Start("write") // never ended: must not appear
+	_ = open
+	tr.Finish()
+	st := tr.ServerTiming()
+	if !strings.Contains(st, "admission;dur=") || !strings.Contains(st, "solve;dur=") {
+		t.Errorf("ServerTiming missing stages: %q", st)
+	}
+	if strings.Contains(st, "audit") || strings.Contains(st, "write") {
+		t.Errorf("ServerTiming has non-stage entries: %q", st)
+	}
+	if strings.Contains(st, "request") {
+		t.Errorf("ServerTiming includes the root: %q", st)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New("request")
+	root := tr.Root()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s := root.Start("item")
+				s.NoteInt("j", int64(j))
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	tr.Finish()
+	var doc decodedDoc
+	if err := json.Unmarshal(tr.AppendJSON(nil), &doc); err != nil {
+		t.Fatalf("doc invalid after concurrent spans: %v", err)
+	}
+	if len(doc.Spans) != 1+16*50 {
+		t.Errorf("got %d spans, want %d", len(doc.Spans), 1+16*50)
+	}
+}
+
+func TestJSONStringEscaping(t *testing.T) {
+	tr := New("request")
+	s := tr.Root().Start("odd")
+	s.Note("k", "a\"b\\c\nd\te\x01f")
+	s.End()
+	tr.Finish()
+	var doc decodedDoc
+	if err := json.Unmarshal(tr.AppendJSON(nil), &doc); err != nil {
+		t.Fatalf("escaped doc invalid: %v", err)
+	}
+	if got := doc.Spans[1].Notes["k"]; got != "a\"b\\c\nd\te\x01f" {
+		t.Errorf("note round-trip = %q", got)
+	}
+}
+
+func BenchmarkDisabledSpan(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.Root().Start("solve")
+		s.Note("cache", "hit")
+		s.End()
+	}
+}
