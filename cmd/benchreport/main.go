@@ -18,6 +18,14 @@
 // unlike wall time it is deterministic for a fixed binary, so the gate
 // never flakes on a loaded CI machine.
 //
+// With -merge EXISTING.json the emitted document is the union of the
+// existing report and the new run: entries with the same package and
+// name are replaced by the new run, everything else is kept. This is
+// how out-of-band benchmark producers (`sdemload -campaign`) land their
+// summary lines in the same baseline file `go test -bench` feeds —
+// merge only shapes the output; the -compare/-require gates still judge
+// the parsed run alone.
+//
 // A repeatable -require flag turns the comparison into an improvement
 // gate for specific benchmarks:
 //
@@ -62,6 +70,7 @@ type Report struct {
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	merge := flag.String("merge", "", "existing report to merge the parsed run into (same package+name replaced, rest kept; shapes the output only, never the gates)")
 	compare := flag.String("compare", "", "baseline report to gate allocs/op regressions against")
 	maxGrowth := flag.Float64("max-alloc-growth", 0.05, "maximum allowed relative allocs/op growth vs the baseline")
 	var require requireList
@@ -81,7 +90,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchreport: no benchmark lines on stdin")
 		os.Exit(1)
 	}
-	data, err := json.MarshalIndent(report, "", "  ")
+	emit := report
+	if *merge != "" {
+		baseData, err := os.ReadFile(*merge)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		var existing Report
+		if err := json.Unmarshal(baseData, &existing); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: parsing %s: %v\n", *merge, err)
+			os.Exit(1)
+		}
+		emit = mergeReports(existing, report)
+	}
+	data, err := json.MarshalIndent(emit, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
@@ -122,6 +145,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchreport: %d improvement floor(s) not met vs %s\n", failures, *compare)
 		os.Exit(1)
 	}
+}
+
+// mergeReports unions an existing report with the current run: entries
+// sharing (package, name) are replaced by the current run, everything
+// else survives, and the result is re-sorted so the file stays
+// deterministic. The current run's GoVersion wins when it has one.
+func mergeReports(existing, cur Report) Report {
+	type key struct{ pkg, name string }
+	replaced := make(map[key]bool, len(cur.Benchmarks))
+	for _, e := range cur.Benchmarks {
+		replaced[key{e.Package, e.Name}] = true
+	}
+	out := Report{GoVersion: cur.GoVersion}
+	if out.GoVersion == "" {
+		out.GoVersion = existing.GoVersion
+	}
+	for _, e := range existing.Benchmarks {
+		if !replaced[key{e.Package, e.Name}] {
+			out.Benchmarks = append(out.Benchmarks, e)
+		}
+	}
+	out.Benchmarks = append(out.Benchmarks, cur.Benchmarks...)
+	sort.Slice(out.Benchmarks, func(i, j int) bool {
+		a, b := out.Benchmarks[i], out.Benchmarks[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		return a.Name < b.Name
+	})
+	return out
 }
 
 // requireList collects repeated -require flags.

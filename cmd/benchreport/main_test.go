@@ -181,6 +181,34 @@ func TestCheckRequiredMalformed(t *testing.T) {
 	}
 }
 
+func TestMergeReports(t *testing.T) {
+	existing := Report{GoVersion: "go1.22", Benchmarks: []Entry{
+		entry("sdem", "BenchmarkA", allocs(100)),
+		entry("", "BenchmarkLoadCampaignSolve", nil),
+	}}
+	cur := Report{Benchmarks: []Entry{
+		{Name: "BenchmarkLoadCampaignSolve", Iterations: 9, NsPerOp: 7,
+			Custom: map[string]float64{"rps": 8000}},
+	}}
+	got := mergeReports(existing, cur)
+	if got.GoVersion != "go1.22" {
+		t.Fatalf("GoVersion = %q, want the existing one kept", got.GoVersion)
+	}
+	if len(got.Benchmarks) != 2 {
+		t.Fatalf("merged %d entries, want 2: %+v", len(got.Benchmarks), got.Benchmarks)
+	}
+	// Sorted: the package-less campaign entry before sdem/BenchmarkA.
+	if got.Benchmarks[0].Name != "BenchmarkLoadCampaignSolve" || got.Benchmarks[0].NsPerOp != 7 {
+		t.Fatalf("campaign entry not replaced by the new run: %+v", got.Benchmarks[0])
+	}
+	if got.Benchmarks[0].Custom["rps"] != 8000 {
+		t.Fatalf("custom units lost in merge: %+v", got.Benchmarks[0])
+	}
+	if got.Benchmarks[1].Name != "BenchmarkA" {
+		t.Fatalf("existing entry lost: %+v", got.Benchmarks)
+	}
+}
+
 func TestCompareAllocsImprovement(t *testing.T) {
 	baseline := Report{Benchmarks: []Entry{entry("sdem", "BenchmarkA", allocs(200))}}
 	current := Report{Benchmarks: []Entry{entry("sdem", "BenchmarkA", allocs(50))}}

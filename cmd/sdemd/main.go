@@ -65,6 +65,7 @@ type options struct {
 	chaosSeed      int64
 	chaosKinds     string
 	chaosMaxDelay  time.Duration
+	seriesWindow   int
 }
 
 func main() {
@@ -86,6 +87,7 @@ func main() {
 	flag.Int64Var(&o.chaosSeed, "chaos-seed", 1, "serve-layer chaos plan seed (same seed, same storm)")
 	flag.StringVar(&o.chaosKinds, "chaos-kinds", "", "serve-layer chaos kinds, comma-separated: latency,error,panic (default latency)")
 	flag.DurationVar(&o.chaosMaxDelay, "chaos-max-delay", 50*time.Millisecond, "serve-layer chaos: injected handler latency upper bound")
+	flag.IntVar(&o.seriesWindow, "series-window", 0, "/debug/series window size in completed requests (0 = 256, negative disables)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "sdemd:", err)
@@ -115,6 +117,7 @@ func run(o options) error {
 		MaxBudget:     o.maxBudget,
 		CacheSize:     o.cacheSize,
 		TraceSample:   o.traceSample,
+		SeriesWindow:  o.seriesWindow,
 	}
 	if o.traceSample == 0 {
 		cfg.TraceSample = -1 // flag 0 means off; Config 0 means the default

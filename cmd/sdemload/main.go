@@ -30,6 +30,19 @@
 // /debug/trace by the trace ID it minted; -trace-out appends those
 // trees as JSONL for cmd/sdemtrace to verify and aggregate.
 //
+// -window N buckets logical requests into fixed-size windows keyed by
+// the request ordinal — the same window-clock rule the telemetry series
+// package follows, so window membership replays exactly under a fixed
+// seed regardless of worker interleaving — and adds per-window
+// throughput, shed rate, and latency quantiles to the JSON report.
+//
+// -campaign applies the long-haul preset (a million seeded simulate
+// requests, closed loop, 70% hot mix, ten ordinal windows; explicit
+// flags still win) and prints a `go test -bench`-shaped summary line so
+// cmd/benchreport can parse the run and merge it into a BENCH baseline:
+//
+//	sdemload -campaign -addr $ADDR | go run ./cmd/benchreport -merge BENCH.json -out BENCH.json
+//
 // Exit status is the CI contract: nonzero when -require-shed saw no
 // shedding, when 5xx responses exceed -max-5xx, or when nothing
 // succeeded at all. -out writes the full JSON report for trending.
@@ -48,6 +61,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,6 +93,8 @@ type options struct {
 	traceOut    string
 	requireShed bool
 	max5xx      int64
+	window      int64
+	campaign    bool
 }
 
 // report is the JSON document -out writes and the summary the process
@@ -106,6 +122,25 @@ type report struct {
 	SlowCutoffs int64   `json:"slow_cutoffs,omitempty"`
 	Traces      int64   `json:"traces_fetched,omitempty"`
 	TraceMisses int64   `json:"trace_misses,omitempty"`
+
+	WindowSize int64        `json:"window_size,omitempty"`
+	Windows    []windowStat `json:"windows,omitempty"`
+}
+
+// windowStat is one ordinal window of the run: -window logical requests
+// grouped by issue ordinal, so a fixed seed reproduces the same window
+// membership on every run. Throughput is priced over the window's
+// wall-clock completion span and is the one field expected to move
+// between runs.
+type windowStat struct {
+	Window     int64   `json:"window"`
+	Requests   int64   `json:"requests"`
+	OK         int64   `json:"ok"`
+	Shed       int64   `json:"shed"`
+	ShedRate   float64 `json:"shed_rate"`
+	Throughput float64 `json:"throughput_rps"`
+	LatencyP50 float64 `json:"latency_p50_ms"`
+	LatencyP99 float64 `json:"latency_p99_ms"`
 }
 
 // counters aggregates outcomes across workers; latencies (ms) are the
@@ -127,6 +162,118 @@ func (c *counters) observe(ms float64) {
 	c.mu.Lock()
 	c.latencies = append(c.latencies, ms)
 	c.mu.Unlock()
+}
+
+// loadWindows buckets logical requests into fixed-size windows keyed by
+// the issue ordinal — the window clock the telemetry series package
+// mandates: never wall time, so window membership replays exactly under
+// a fixed seed no matter how the workers interleave. Wall time enters
+// only as each window's completion span, which prices the per-window
+// throughput. A nil *loadWindows disables windowing; every method is
+// nil-safe.
+type loadWindows struct {
+	size  int64
+	start time.Time
+	mu    sync.Mutex
+	ws    map[int64]*winAgg
+}
+
+type winAgg struct {
+	requests, ok, shed int64
+	lat                []float64
+	t0, t1             float64 // completion span, wall seconds since run start
+	seen               bool
+}
+
+func newLoadWindows(size int64, start time.Time) *loadWindows {
+	if size <= 0 {
+		return nil
+	}
+	return &loadWindows{size: size, start: start, ws: map[int64]*winAgg{}}
+}
+
+// agg returns request n's window, creating it on first touch. Callers
+// hold w.mu.
+func (w *loadWindows) agg(n int64) *winAgg {
+	idx := (n - 1) / w.size
+	a := w.ws[idx]
+	if a == nil {
+		a = &winAgg{}
+		w.ws[idx] = a
+	}
+	return a
+}
+
+// done records request n's terminal outcome into its ordinal window.
+func (w *loadWindows) done(n int64, ok bool, ms float64) {
+	if w == nil {
+		return
+	}
+	//lint:allow telemetrycheck: the completion span prices per-window throughput only; window membership is ordinal
+	at := time.Since(w.start).Seconds()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	a := w.agg(n)
+	a.requests++
+	if ok {
+		a.ok++
+		a.lat = append(a.lat, ms)
+	}
+	if !a.seen || at < a.t0 {
+		a.t0 = at
+	}
+	if !a.seen || at > a.t1 {
+		a.t1 = at
+	}
+	a.seen = true
+}
+
+// shed counts one 429 observation against request n's window, retried
+// attempts included — the same convention the run-level Shed counter
+// uses.
+func (w *loadWindows) shed(n int64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.agg(n).shed++
+	w.mu.Unlock()
+}
+
+// stats flattens the windows into report entries, ordered by window
+// index.
+func (w *loadWindows) stats() []windowStat {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	idxs := make([]int64, 0, len(w.ws))
+	for i := range w.ws {
+		idxs = append(idxs, i)
+	}
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	out := make([]windowStat, 0, len(idxs))
+	for _, i := range idxs {
+		a := w.ws[i]
+		sort.Float64s(a.lat)
+		s := windowStat{
+			Window:     i,
+			Requests:   a.requests,
+			OK:         a.ok,
+			Shed:       a.shed,
+			LatencyP50: quantile(a.lat, 0.50),
+			LatencyP99: quantile(a.lat, 0.99),
+		}
+		if a.requests > 0 {
+			s.ShedRate = float64(a.shed) / float64(a.requests)
+		}
+		if span := a.t1 - a.t0; span > 0 {
+			s.Throughput = float64(a.ok) / span
+		}
+		out = append(out, s)
+	}
+	return out
 }
 
 // traceSink pulls sealed span trees back from the server's /debug/trace
@@ -204,10 +351,48 @@ func main() {
 	flag.StringVar(&o.traceOut, "trace-out", "", "append fetched span trees as JSONL here (implies -trace; feed to sdemtrace)")
 	flag.BoolVar(&o.requireShed, "require-shed", false, "exit nonzero unless the server shed at least one request")
 	flag.Int64Var(&o.max5xx, "max-5xx", 0, "exit nonzero when 5xx responses exceed this count")
+	flag.Int64Var(&o.window, "window", 0, "per-window report bucket in logical requests (0 disables; the window clock is the request ordinal, never wall time)")
+	flag.BoolVar(&o.campaign, "campaign", false, "long-haul preset: a million seeded closed-loop solve requests in ten ordinal windows, plus a benchreport-compatible summary line (explicit flags still win)")
 	flag.Parse()
+	if o.campaign {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		applyCampaign(&o, set)
+	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "sdemload:", err)
 		os.Exit(1)
+	}
+}
+
+// applyCampaign fills the campaign preset into every option the user
+// did not set explicitly: one million logical simulate requests (the
+// synthetic generator emits general task sets, which /v1/solve's
+// offline-optimal scheduler rejects by design), closed loop at 32
+// workers, a 70% hot mix over 8 cached sets, ordinal windows of a tenth
+// of the run, and a duration ceiling high enough that the request
+// budget — not the clock — ends the run.
+func applyCampaign(o *options, set map[string]bool) {
+	if !set["op"] {
+		o.op = "simulate"
+	}
+	if !set["requests"] {
+		o.requests = 1_000_000
+	}
+	if !set["duration"] {
+		o.duration = time.Hour
+	}
+	if !set["concurrency"] {
+		o.concurrency = 32
+	}
+	if !set["hot"] {
+		o.hot = 0.7
+	}
+	if !set["hot-sets"] {
+		o.hotSets = 8
+	}
+	if !set["window"] && o.requests > 0 {
+		o.window = o.requests / 10
 	}
 }
 
@@ -218,6 +403,9 @@ func run(o options) error {
 	}
 	if o.hot < 0 || o.hot > 1 {
 		return fmt.Errorf("-hot %v outside [0,1]", o.hot)
+	}
+	if o.window < 0 {
+		return fmt.Errorf("-window %d must be >= 0", o.window)
 	}
 	if o.hotSets <= 0 {
 		o.hotSets = 1
@@ -272,6 +460,7 @@ func run(o options) error {
 
 	//lint:allow telemetrycheck: load generation is a wall-clock activity by definition — sdemload measures a live server, it never touches schedule math
 	start := time.Now()
+	win := newLoadWindows(o.window, start)
 	if o.rate > 0 {
 		interval := time.Duration(float64(time.Second) / o.rate)
 		if interval <= 0 {
@@ -292,7 +481,7 @@ func run(o options) error {
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					issue(ctx, client, url, hot, o, n, &c, sink)
+					issue(ctx, client, url, hot, o, n, &c, sink, win)
 				}()
 			}
 		}
@@ -306,7 +495,7 @@ func run(o options) error {
 					if !ok {
 						return
 					}
-					issue(ctx, client, url, hot, o, n, &c, sink)
+					issue(ctx, client, url, hot, o, n, &c, sink, win)
 				}
 			}()
 		}
@@ -316,6 +505,10 @@ func run(o options) error {
 	elapsed := time.Since(start)
 
 	rep := summarize(o, &c, elapsed, slowCutoffs.Load())
+	rep.Windows = win.stats()
+	if win != nil {
+		rep.WindowSize = o.window
+	}
 	if sink != nil {
 		rep.Traces = sink.fetched.Load()
 		rep.TraceMisses = sink.missed.Load()
@@ -330,6 +523,9 @@ func run(o options) error {
 		}
 	}
 	printReport(rep)
+	if o.campaign {
+		benchLines(os.Stdout, o, rep)
+	}
 
 	if rep.OK == 0 {
 		return fmt.Errorf("no request succeeded (%d issued, %d shed, %d 5xx, %d transport errors)",
@@ -386,8 +582,13 @@ func body(o options, seed int64) ([]byte, error) {
 // mix, send, and retry 429s with backoff until the budget of attempts
 // is spent. Counts go to c; only 2xx attempt latencies enter the
 // quantile set.
-func issue(ctx context.Context, client *http.Client, url string, hot [][]byte, o options, n int64, c *counters, sink *traceSink) {
+func issue(ctx context.Context, client *http.Client, url string, hot [][]byte, o options, n int64, c *counters, sink *traceSink, win *loadWindows) {
 	c.requests.Add(1)
+	// Every return path is a terminal outcome for logical request n; the
+	// deferred record keeps the window's request count in lockstep with
+	// the run-level Requests counter.
+	okDone, okMs := false, 0.0
+	defer func() { win.done(n, okDone, okMs) }()
 	var payload []byte
 	if unit(o.seed, 0x1a1d, uint64(n)) < o.hot {
 		payload = hot[int(unit(o.seed, 0x5e7, uint64(n))*float64(len(hot)))%len(hot)]
@@ -418,10 +619,12 @@ func issue(ctx context.Context, client *http.Client, url string, hot [][]byte, o
 		case code >= 200 && code < 300:
 			c.ok.Add(1)
 			c.observe(ms)
+			okDone, okMs = true, ms
 			sink.collect(ctx, client, tp.TraceID())
 			return
 		case code == http.StatusTooManyRequests:
 			c.shed.Add(1)
+			win.shed(n)
 			if attempt >= o.retries {
 				return
 			}
@@ -600,6 +803,30 @@ func printReport(r report) {
 	if r.Traces > 0 || r.TraceMisses > 0 {
 		fmt.Printf("traces: %d span trees fetched, %d misses\n", r.Traces, r.TraceMisses)
 	}
+	if len(r.Windows) > 0 {
+		worstP99, worstShed := 0.0, 0.0
+		for _, w := range r.Windows {
+			worstP99 = math.Max(worstP99, w.LatencyP99)
+			worstShed = math.Max(worstShed, w.ShedRate)
+		}
+		fmt.Printf("windows: %d of %d requests each — worst p99=%.1fms, worst shed=%.1f%% (full table in -out)\n",
+			len(r.Windows), r.WindowSize, worstP99, 100*worstShed)
+	}
+}
+
+// benchLines prints the campaign summary as a `go test -bench` result
+// line so cmd/benchreport can parse the run and merge it into a BENCH
+// baseline with -merge. Iterations and ns/op are per admitted request
+// over the whole closed loop; the shed rate and quantiles ride along as
+// custom units.
+func benchLines(w io.Writer, o options, r report) {
+	name := "BenchmarkLoadCampaign" + strings.ToUpper(o.op[:1]) + o.op[1:]
+	nsPerOp := 0.0
+	if r.OK > 0 {
+		nsPerOp = r.DurationS * 1e9 / float64(r.OK)
+	}
+	fmt.Fprintf(w, "%s %d %.0f ns/op %.1f rps %.3f p50-ms %.3f p99-ms %.6f shed-rate\n",
+		name, r.OK, nsPerOp, r.Throughput, r.LatencyP50, r.LatencyP99, r.ShedRate)
 }
 
 // unit maps (seed, dims...) onto [0, 1) deterministically — the same

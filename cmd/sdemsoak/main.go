@@ -9,11 +9,21 @@
 //	sdemsoak -virtual 86400 -cores 8 -fault-intensity 0.5
 //	sdemsoak -jobs 100000 -listen 127.0.0.1:9090 &
 //	curl -s localhost:9090/metrics | grep stream_virtual
+//	sdemsoak -virtual 7200 -window 300 -series-out soak.series.jsonl \
+//	    -slo-miss-rate 0.05 -slo-p99 2 -slo-drift 0.5
 //
 // The summary is printed as JSON on stdout. The process exits non-zero
 // when any miss is unexplained — a miss on a job that was neither
 // perturbed by an injected fault nor squeezed behind a full machine is
 // an engine bug, and the soak exists to catch exactly that.
+//
+// With -window the run additionally collects a windowed time series on
+// the virtual clock (see internal/telemetry/series) and evaluates the
+// soak SLO set over it (internal/telemetry/slo): the unexplained-miss
+// objective is always on; -slo-miss-rate, -slo-p99 and -slo-drift arm
+// the optional objectives. A failed verdict exits non-zero with an "SLO
+// breach" error, and the verdict rides in the summary's "slo" field.
+// Series dumps and verdicts are deterministic: same seeds, same bytes.
 package main
 
 import (
@@ -33,6 +43,8 @@ import (
 	"sdem/internal/power"
 	"sdem/internal/telemetry"
 	"sdem/internal/telemetry/export"
+	"sdem/internal/telemetry/series"
+	"sdem/internal/telemetry/slo"
 	"sdem/internal/workload"
 )
 
@@ -55,6 +67,11 @@ type soakReport struct {
 	Plans         int64 `json:"plans"`
 	SkippedSolves int64 `json:"skipped_solves"`
 	PlanReuse     int64 `json:"plan_reuse"`
+
+	// Windows and SLO are present only when -window armed the windowed
+	// series: the completed-window count and the SLO verdict over them.
+	Windows int          `json:"windows,omitempty"`
+	SLO     *slo.Verdict `json:"slo,omitempty"`
 }
 
 type options struct {
@@ -67,6 +84,12 @@ type options struct {
 	faultSeed int64
 	listen    string
 	quiet     bool
+
+	window      float64
+	seriesOut   string
+	sloMissRate float64
+	sloP99      float64
+	sloDrift    float64
 }
 
 func main() {
@@ -80,6 +103,11 @@ func main() {
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault draw seed (same seed, same perturbations)")
 	flag.StringVar(&o.listen, "listen", "", "serve live OpenMetrics on this address while soaking (empty = off)")
 	flag.BoolVar(&o.quiet, "q", false, "suppress the JSON summary; only the exit code reports")
+	flag.Float64Var(&o.window, "window", 0, "virtual seconds per telemetry window (0 = windowed series off)")
+	flag.StringVar(&o.seriesOut, "series-out", "", "write the windowed series as JSONL to this file (requires -window)")
+	flag.Float64Var(&o.sloMissRate, "slo-miss-rate", 0, "SLO: max per-window miss rate, all misses incl. explained (0 = off)")
+	flag.Float64Var(&o.sloP99, "slo-p99", 0, "SLO: max per-window p99 response seconds (0 = off)")
+	flag.Float64Var(&o.sloDrift, "slo-drift", 0, "SLO: max relative energy-per-job drift vs the trailing baseline (0 = off)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "sdemsoak:", err)
@@ -93,6 +121,12 @@ func run(o options) error {
 	}
 	if o.cores <= 0 {
 		return fmt.Errorf("-cores must be positive")
+	}
+	if o.seriesOut != "" && o.window <= 0 {
+		return fmt.Errorf("-series-out requires -window")
+	}
+	if o.window <= 0 && (o.sloMissRate > 0 || o.sloP99 > 0 || o.sloDrift > 0) {
+		return fmt.Errorf("-slo-* objectives require -window")
 	}
 	sys := power.DefaultSystem()
 	sys.Cores = o.cores
@@ -129,6 +163,14 @@ func run(o options) error {
 		MaxJobs:    o.jobs,
 		Telemetry:  tel,
 	}
+	var col *series.Collector
+	if o.window > 0 {
+		col, err = series.NewCollector(tel, series.ClockVirtual, o.window)
+		if err != nil {
+			return err
+		}
+		opts.Series = col
+	}
 	if o.intensity > 0 {
 		opts.Faults = faults.NewStreamer(faults.Config{Intensity: o.intensity}, o.faultSeed)
 	}
@@ -141,6 +183,29 @@ func run(o options) error {
 	sum, err := online.ScheduleStream(src, sys, opts)
 	if err != nil {
 		return err
+	}
+
+	var ser *series.Series
+	var verdict *slo.Verdict
+	if col != nil {
+		ser = col.Finish(sum.End)
+		if o.seriesOut != "" {
+			f, err := os.Create(o.seriesOut)
+			if err != nil {
+				return err
+			}
+			if err := ser.WriteJSONL(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		verdict, err = slo.Evaluate(ser, slo.SoakSpecs(o.sloMissRate, o.sloP99, o.sloDrift))
+		if err != nil {
+			return err
+		}
 	}
 
 	if !o.quiet {
@@ -162,6 +227,10 @@ func run(o options) error {
 			SkippedSolves: tel.CounterValue("sdem.solver.online.skipped_solves", ""),
 			PlanReuse:     tel.CounterValue("sdem.solver.online.plan_reuse", ""),
 		}
+		if ser != nil {
+			out.Windows = len(ser.Windows)
+			out.SLO = verdict
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		//lint:allow detcheck: the report is deliberately printed with its wall-clock wall_s field
@@ -171,6 +240,9 @@ func run(o options) error {
 	}
 	if n := sum.UnexplainedMisses(); n > 0 {
 		return fmt.Errorf("%d unexplained misses (of %d) — engine bug", n, sum.Misses)
+	}
+	if verdict != nil && !verdict.Pass {
+		return fmt.Errorf("SLO breach: %v", verdict.Failing())
 	}
 	return nil
 }

@@ -1,0 +1,255 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sdem/internal/telemetry"
+	"sdem/internal/telemetry/export"
+	"sdem/internal/telemetry/series"
+	"sdem/internal/telemetry/slo"
+)
+
+// testSeries builds a small deterministic series with a breach in the
+// middle windows.
+func testSeries() *series.Series {
+	mk := func(idx int64, misses int64, p99scale float64) series.Window {
+		sk := series.NewSketch(series.DefaultAlpha)
+		for i := 1; i <= 100; i++ {
+			sk.Observe(p99scale * float64(i) / 100)
+		}
+		return series.Window{
+			Index: idx,
+			Counters: map[string]int64{
+				"sdem.sim.completions{sched=sdem-on}": 100,
+				"sdem.sim.misses{sched=sdem-on}":      misses,
+			},
+			Floats:   map[string]float64{"sdem.sim.metered_j{sched=sdem-on}": 250},
+			Sketches: map[string]*series.Sketch{"sdem.stream.response_s": sk},
+		}
+	}
+	var ws []series.Window
+	for i := int64(0); i < 8; i++ {
+		m := int64(0)
+		if i >= 3 && i <= 5 {
+			m = 40
+		}
+		ws = append(ws, mk(i, m, 0.1))
+	}
+	return &series.Series{Clock: series.ClockVirtual, Interval: 60, Alpha: series.DefaultAlpha, Windows: ws}
+}
+
+func TestRenderDeterministicAndComplete(t *testing.T) {
+	ser := testSeries()
+	verdict, err := slo.Evaluate(ser, slo.SoakSpecs(0.1, 1, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := render(&a, ser, verdict); err != nil {
+		t.Fatal(err)
+	}
+	if err := render(&b, ser, verdict); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("render is not deterministic")
+	}
+	out := a.String()
+	for _, want := range []string{
+		"clock=virtual_s interval=60",
+		"sdem.sim.completions", // totals row (bare name: labels merged)
+		"sdem.stream.response_s",
+		"per-window",
+		"slo verdict: FAIL",
+		"FAIL  miss-rate",
+		// Window 3 does not burn: its 6-window trailing aggregate is
+		// exactly at, not above, the 0.1 bound. The sustained run is 4-5.
+		"breach miss-rate: windows [4-5]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// 800 completions total across 8 windows.
+	if !strings.Contains(out, "800") {
+		t.Fatalf("report missing the completions total:\n%s", out)
+	}
+}
+
+func TestRunOnDumpExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	dump := filepath.Join(dir, "dump.jsonl")
+	f, err := os.Create(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := testSeries().WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Tight miss-rate SLO: breach, exit 3, verdict written.
+	vout := filepath.Join(dir, "verdict.json")
+	var buf bytes.Buffer
+	code, err := run(&buf, options{seriesPath: dump, profile: "soak",
+		maxMissRate: 0.1, maxP99: 1, maxDrift: 0.5, verdictOut: vout})
+	if code != exitBreach || err == nil || !strings.Contains(err.Error(), "SLO breach") {
+		t.Fatalf("breach run: code=%d err=%v", code, err)
+	}
+	vb, err := os.ReadFile(vout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(vb, []byte(`"pass": false`)) {
+		t.Fatalf("verdict file must record the failure: %s", vb)
+	}
+
+	// Loose SLO: pass, exit 0.
+	buf.Reset()
+	code, err = run(&buf, options{seriesPath: dump, profile: "soak",
+		maxMissRate: 0.9, maxP99: 1, maxDrift: 0.5})
+	if code != 0 || err != nil {
+		t.Fatalf("passing run: code=%d err=%v", code, err)
+	}
+
+	// No profile: report only, no verdict section.
+	buf.Reset()
+	code, err = run(&buf, options{seriesPath: dump})
+	if code != 0 || err != nil {
+		t.Fatalf("report-only run: code=%d err=%v", code, err)
+	}
+	if strings.Contains(buf.String(), "slo verdict") {
+		t.Fatal("report-only run must not print a verdict")
+	}
+
+	// Coalesce halves the window count.
+	buf.Reset()
+	if code, err = run(&buf, options{seriesPath: dump, coalesce: 2}); code != 0 || err != nil {
+		t.Fatalf("coalesced run: code=%d err=%v", code, err)
+	}
+	if !strings.Contains(buf.String(), "windows=4") {
+		t.Fatalf("coalesce 2 over 8 windows must report 4:\n%s", buf.String())
+	}
+
+	// Two sources configured is an operational error, not a breach.
+	if code, _ = run(&buf, options{seriesPath: dump, url: "http://x"}); code != 1 {
+		t.Fatalf("conflicting sources must exit 1, got %d", code)
+	}
+}
+
+func TestRunFetchesDumpOverHTTP(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if err := testSeries().WriteJSONL(w); err != nil {
+			t.Error(err)
+		}
+	}))
+	defer srv.Close()
+	var buf bytes.Buffer
+	code, err := run(&buf, options{url: srv.URL})
+	if code != 0 || err != nil {
+		t.Fatalf("url run: code=%d err=%v", code, err)
+	}
+	if !strings.Contains(buf.String(), "windows=8") {
+		t.Fatalf("fetched report wrong:\n%s", buf.String())
+	}
+}
+
+// TestScrapeSeries drives the scrape mode against a live exposition
+// built by the real exporter, advancing the recorder between scrapes.
+func TestScrapeSeries(t *testing.T) {
+	tel := telemetry.New()
+	tel.RegisterHistogram("sdem.req.latency", []float64{0.01, 0.1, 1})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		// Each scrape observes a hotter recorder: +10 requests, +5 J.
+		for i := 0; i < 10; i++ {
+			tel.CountL("sdem.serve.requests", "route=/solve", 1)
+			tel.Observe("sdem.req.latency", 0.05)
+		}
+		tel.Add("sdem.sim.metered_j", 5)
+		tel.Gauge("sdem.serve.inflight", 3)
+		if err := export.WriteOpenMetrics(w, tel.Snapshot()); err != nil {
+			t.Error(err)
+		}
+	}))
+	defer srv.Close()
+
+	ser, err := scrapeSeries(srv.URL, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.Clock != series.ClockOrdinal || len(ser.Windows) != 2 {
+		t.Fatalf("clock=%s windows=%d, want ordinal/2", ser.Clock, len(ser.Windows))
+	}
+	for i, w := range ser.Windows {
+		if got := w.Floats[`sdem_serve_requests_total{route="/solve"}`]; got != 10 {
+			t.Fatalf("window %d: requests delta = %g, want 10", i, got)
+		}
+		if got := w.Floats["sdem_sim_metered_j_total"]; got != 5 {
+			t.Fatalf("window %d: energy delta = %g, want 5", i, got)
+		}
+		if got := w.Counters["sdem_req_latency_count"]; got != 10 {
+			t.Fatalf("window %d: histogram count delta = %d, want 10", i, got)
+		}
+		if got := w.Gauges["sdem_serve_inflight"]; got != 3 {
+			t.Fatalf("window %d: gauge = %g, want 3", i, got)
+		}
+		if w.Floats["sdem_req_latency_sum"] <= 0 {
+			t.Fatalf("window %d: histogram sum delta missing", i)
+		}
+	}
+	// An exposition-name spec evaluates against the scraped series.
+	v, err := slo.Evaluate(ser, []slo.Spec{{
+		Name: "req-rate", Kind: slo.KindRatio,
+		Num: "sdem_serve_requests_total", Max: 100, Budget: 0,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pass || v.Results[0].Windows != 2 {
+		t.Fatalf("scraped verdict: %+v", v.Results[0])
+	}
+	// The report renders scrape-mode series too.
+	var buf bytes.Buffer
+	if err := render(&buf, ser, v); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "clock=ordinal") {
+		t.Fatalf("scrape report wrong:\n%s", buf.String())
+	}
+}
+
+func TestParseExpositionSkipsJunk(t *testing.T) {
+	s, err := parseExposition(strings.NewReader(strings.Join([]string{
+		"# TYPE good counter",
+		"good_total 5",
+		"good_total{x=\"y\"} 2 # {trace_id=\"ab\"} 0.1", // exemplar stripped
+		"not typed 12 garbage words",
+		"# malformed comment",
+		"lonely",
+		"# EOF",
+	}, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.counters["good_total"] != 5 || s.counters[`good_total{x="y"}`] != 2 {
+		t.Fatalf("parsed counters: %+v", s.counters)
+	}
+	if len(s.gauges) != 0 || len(s.hcounts) != 0 {
+		t.Fatalf("junk must be skipped: %+v %+v", s.gauges, s.hcounts)
+	}
+}
+
+func TestDeltaWindowResetConvention(t *testing.T) {
+	prev := scrape{counters: map[string]float64{"c_total": 100}, gauges: map[string]float64{}, hcounts: map[string]float64{}}
+	cur := scrape{counters: map[string]float64{"c_total": 7}, gauges: map[string]float64{}, hcounts: map[string]float64{}}
+	w := deltaWindow(0, prev, cur)
+	if got := w.Floats["c_total"]; got != 7 {
+		t.Fatalf("reset delta = %g, want the new cumulative 7", got)
+	}
+}

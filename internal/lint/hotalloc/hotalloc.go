@@ -8,6 +8,10 @@
 //
 //   - fmt.* calls (everything except the cold-error-path fmt.Errorf):
 //     the variadic ...any boxes every argument;
+//   - container/heap operations: heap.Push and heap.Pop traffic in `any`,
+//     boxing every element on the way in AND out — two heap allocations
+//     per element; hot heaps must be typed (sift-up/sift-down on a
+//     concrete slice);
 //   - per-call map creation (make(map...), map literals) and channel
 //     creation — hot code should reuse scratch structures;
 //   - variable-capturing closures, which allocate per call (non-capturing
@@ -39,7 +43,7 @@ const Directive = "//sdem:hotpath"
 // Analyzer is the hotalloc pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "hotalloc",
-	Doc: "flags allocation constructs (fmt.*, per-call maps, capturing closures, " +
+	Doc: "flags allocation constructs (fmt.*, container/heap, per-call maps, capturing closures, " +
 		"append without preallocation, escaping interface boxing) in functions reachable " +
 		"from a //sdem:hotpath directive; reuse scratch buffers, preallocate, or suppress " +
 		"with //lint:allow hotalloc where the allocation is deliberate",
@@ -177,6 +181,7 @@ func checkHotBody(pass *analysis.Pass, fd *ast.FuncDecl, root string) {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			checkFmtCall(pass, n, where)
+			checkHeapCall(pass, n, where)
 			checkMakeCall(pass, n, where)
 			checkBoxing(pass, n, where)
 		case *ast.CompositeLit:
@@ -209,6 +214,25 @@ func checkFmtCall(pass *analysis.Pass, call *ast.CallExpr, where string) {
 		return
 	}
 	pass.Reportf(call.Pos(), "fmt.%s boxes its arguments and allocates on %s; use strconv, a reused buffer, or move formatting off the hot path", fn.Name(), where)
+}
+
+// checkHeapCall flags every container/heap operation. heap.Push and
+// heap.Pop move each element through `any` — one box going in, another
+// coming out — and the remaining operations (Init, Fix, Remove) only
+// exist to drive the same boxed Interface, so any use of the package on a
+// hot path signals the pattern. The check is syntactic on purpose: the
+// boxing happens inside the heap package where the escape probe cannot
+// attribute it to the caller's line.
+func checkHeapCall(pass *analysis.Pass, call *ast.CallExpr, where string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "container/heap" {
+		return
+	}
+	pass.Reportf(call.Pos(), "container/heap.%s boxes every element through any on %s; use a typed heap (sift-up/sift-down on a concrete slice)", fn.Name(), where)
 }
 
 // checkMakeCall flags per-call map and channel creation.
@@ -250,8 +274,9 @@ func checkBoxing(pass *analysis.Pass, call *ast.CallExpr, where string) {
 	if !ok {
 		return
 	}
-	// fmt.* is already reported wholesale by checkFmtCall.
-	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+	// fmt.* and container/heap are already reported wholesale by
+	// checkFmtCall and checkHeapCall.
+	if fn.Pkg() != nil && (fn.Pkg().Path() == "fmt" || fn.Pkg().Path() == "container/heap") {
 		return
 	}
 	sig, ok := fn.Type().(*types.Signature)

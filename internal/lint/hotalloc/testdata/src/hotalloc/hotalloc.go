@@ -1,7 +1,10 @@
 // Package hotalloc is the fixture for the hotalloc analyzer.
 package hotalloc
 
-import "fmt"
+import (
+	"container/heap"
+	"fmt"
+)
 
 // Hot is a hot-path root: every allocation construct below is flagged.
 //
@@ -93,6 +96,18 @@ func CacheInsertHot(entries map[string]chan struct{}, keys []string) []string {
 		order = append(order, k)         // want "append grows \"order\" inside a loop without preallocation"
 	}
 	return order
+}
+
+// HeapHot mirrors the arrival-reorder path before it moved to a typed
+// heap: every container/heap operation drives elements through `any`,
+// one box per Push and another per Pop — two allocations per element on
+// the engine's hottest loop.
+//
+//sdem:hotpath
+func HeapHot(h heap.Interface, v int) int {
+	heap.Push(h, v)          // want "container/heap.Push boxes every element through any"
+	heap.Fix(h, 0)           // want "container/heap.Fix boxes every element through any"
+	return heap.Pop(h).(int) // want "container/heap.Pop boxes every element through any"
 }
 
 // LabelsHot mirrors the telemetry label-map miss path before interning:

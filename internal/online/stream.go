@@ -1,7 +1,6 @@
 package online
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
@@ -12,6 +11,7 @@ import (
 	"sdem/internal/sim"
 	"sdem/internal/task"
 	"sdem/internal/telemetry"
+	"sdem/internal/telemetry/series"
 	"sdem/internal/workload"
 )
 
@@ -37,6 +37,12 @@ type StreamOptions struct {
 	// sdem.solver.online.stream_virtual_s (a gauge of progress a live
 	// scrape can watch).
 	Telemetry *telemetry.Recorder
+	// Series, when non-nil, is advanced on virtual time at every
+	// planning-batch boundary and fed the per-retirement response sketch
+	// (sdem.stream.response_s) plus the per-batch mean energy per
+	// completed job (sdem.stream.energy_per_job_j). The caller owns the
+	// collector and calls Finish on it after the run.
+	Series *series.Collector
 	// Ctx, when non-nil, is polled at every arrival boundary.
 	Ctx context.Context
 }
@@ -45,28 +51,67 @@ type StreamOptions struct {
 // fault can push a job past later upstream arrivals, and the engine must
 // still admit in time order. Delays are bounded by each job's window, so
 // the heap stays as small as the overlap — O(active), never O(stream).
+//
+// It is a hand-rolled typed binary heap rather than a container/heap
+// implementation: heap.Push and heap.Pop traffic in `any`, which boxes
+// every taskArrival on push AND on pop — two heap allocations per
+// arrival on the engine's hottest path. The typed min-heap keeps the
+// identical (release, ID) order with zero allocations past the backing
+// array's high-water growth.
 type arrivalHeap []taskArrival
 
 type taskArrival struct {
 	t task.Task
 }
 
-func (h arrivalHeap) Len() int { return len(h) }
-func (h arrivalHeap) Less(i, j int) bool {
+func (h arrivalHeap) less(i, j int) bool {
 	//lint:allow floatcmp: heap ordering must be exact to stay deterministic
 	if h[i].t.Release != h[j].t.Release {
 		return h[i].t.Release < h[j].t.Release
 	}
 	return h[i].t.ID < h[j].t.ID
 }
-func (h arrivalHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *arrivalHeap) Push(x any)   { *h = append(*h, x.(taskArrival)) }
-func (h *arrivalHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+// push inserts a and restores the heap invariant (sift-up).
+func (h *arrivalHeap) push(a taskArrival) {
+	//lint:allow hotalloc: appends into the reused heap backing; it grows to the high-water overlap size once
+	*h = append(*h, a)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+// pop removes and returns the minimum element (sift-down).
+func (h *arrivalHeap) pop() taskArrival {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s[n] = taskArrival{}
+	*h = s[:n]
+	s = s[:n]
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s.less(r, l) {
+			m = r
+		}
+		if !s.less(m, i) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
 }
 
 // ScheduleStream runs the incremental SDEM-ON engine over an unbounded
@@ -110,6 +155,16 @@ func (rt *Runtime) RunStream(src workload.Source, sys power.System, opts StreamO
 		}
 		return fs != nil && !fs.Sample(j.Task).None()
 	})
+	if opts.Series != nil {
+		st.SetRetireHook(func(_ *sim.Job, resp float64) {
+			opts.Series.Observe("sdem.stream.response_s", resp)
+		})
+	}
+	// Windowed energy-per-job observations accumulate between batch
+	// seals: the sketch sees the mean energy of each batch's newly
+	// completed jobs.
+	var meteredE float64
+	var meteredN int64
 
 	rt.reset()
 	if cap(rt.busyUntil) < opts.Cores {
@@ -191,7 +246,7 @@ func (rt *Runtime) RunStream(src workload.Source, sys power.System, opts StreamO
 				exhausted = true
 				break
 			}
-			heap.Push(&pending, perturb(upstream))
+			pending.push(perturb(upstream))
 			drawn++
 			pull()
 		}
@@ -207,8 +262,9 @@ func (rt *Runtime) RunStream(src workload.Source, sys power.System, opts StreamO
 		} else {
 			now = st.Now()
 		}
+		opts.Series.Advance(now)
 		for len(pending) > 0 && pending[0].t.Release <= now+schedule.Tol {
-			a := heap.Pop(&pending).(taskArrival)
+			a := pending.pop()
 			j, err := st.Admit(a.t)
 			if err != nil {
 				return nil, fmt.Errorf("online: admitting task %d: %w", a.t.ID, err)
@@ -241,6 +297,12 @@ func (rt *Runtime) RunStream(src workload.Source, sys power.System, opts StreamO
 		st.Seal(next)
 		if tel != nil {
 			tel.Gauge("sdem.solver.online.stream_virtual_s", st.Now()-first)
+		}
+		if opts.Series != nil {
+			if e, n := st.EnergySoFar(), st.Completed(); n > meteredN {
+				opts.Series.Observe("sdem.stream.energy_per_job_j", (e-meteredE)/float64(n-meteredN))
+				meteredE, meteredN = e, n
+			}
 		}
 		if math.IsInf(next, 1) && len(rt.active) > 0 {
 			// Final drain executed everything plannable; anything still

@@ -3,6 +3,7 @@ package schedule
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"sdem/internal/numeric"
 	"sdem/internal/power"
@@ -180,11 +181,49 @@ func (m *Meter) Finish(end float64) Breakdown {
 	return m.b
 }
 
+// Running returns the energy accumulated so far: the breakdown's total
+// plus the memory static cost of the finalized busy intervals (which
+// Finish would otherwise only add at the end of the run). It is
+// monotone non-decreasing across Seal calls, so windowed telemetry can
+// report per-window energy as Running deltas without closing the meter.
+func (m *Meter) Running() float64 {
+	return m.b.Total() + m.sys.Memory.Static*m.busyLen
+}
+
 // mergeInPlace sorts and Tol-merges the intervals in place, exactly as
-// Auditor.merge does, returning the merged prefix.
+// Auditor.merge does, returning the merged prefix. It duplicates the
+// Auditor.merge walk on the passed slice instead of wrapping it in a
+// temporary Auditor: the temporary's scratch field escapes through its
+// sort.Interface conversion, which cost one allocation per Seal on the
+// streaming hot path.
+//
+//sdem:hotpath
 func mergeInPlace(ivs *intervalsByStart) []Interval {
-	a := Auditor{ivs: *ivs}
-	out := a.merge()
-	*ivs = a.ivs
+	s := *ivs
+	if len(s) == 0 {
+		return nil
+	}
+	sorted := true
+	for i := 1; i < len(s); i++ {
+		if s[i].Start < s[i-1].Start {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		sort.Sort(ivs)
+	}
+	out := s[:1]
+	for _, iv := range s[1:] {
+		last := &out[len(out)-1]
+		if iv.Start <= last.End+Tol {
+			if iv.End > last.End {
+				last.End = iv.End
+			}
+		} else {
+			//lint:allow hotalloc: appends into the backing it reads from; len never exceeds the existing cap
+			out = append(out, iv)
+		}
+	}
 	return out
 }

@@ -52,6 +52,10 @@ const (
 	metricPanics = "sdem.serve.panics"
 	// metricChaos counts injected serve-layer faults by route and kind.
 	metricChaos = "sdem.serve.chaos"
+	// metricLatencyMs names the windowed-series latency sketch: the same
+	// wall measurement as metricLatency, in milliseconds, sketched per
+	// request-ordinal window for /debug/series (see Config.SeriesWindow).
+	metricLatencyMs = "sdem.serve.latency_ms"
 	// metricCache counts schedule-cache outcomes by op and result
 	// (hit, miss, coalesced). The hit/coalesced split depends on request
 	// timing; the per-op total and the miss count are deterministic in
@@ -194,6 +198,11 @@ func (s *Server) middleware(pattern string, h apiHandler) http.Handler {
 			s.tel.ObserveL(metricLatency, lbl.route, latency.Seconds())
 		}
 		s.tel.MergeMetrics(rc.tel)
+		// One atomic tick per completed request: the merged metrics land in
+		// the window that was open at this completion ordinal, and the
+		// latency observation lands in the same window — the ordinal
+		// advances only after both.
+		s.col.TickWith(metricLatencyMs, float64(latency.Nanoseconds())/1e6)
 		rc.mu.Lock()
 		prov := rc.prov
 		rc.mu.Unlock()

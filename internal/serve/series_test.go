@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+
+	"sdem/internal/telemetry/series"
+)
+
+// TestDebugSeriesWindows drives enough requests to seal ordinal windows
+// and checks the /debug/series dump: window layout keyed on the request
+// ordinal, per-window request counters, and the latency sketch.
+func TestDebugSeriesWindows(t *testing.T) {
+	s := New(Config{
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+		SeriesWindow: 4,
+	})
+	for i := 0; i < 9; i++ {
+		if w := post(t, s, "/v1/solve", TaskRequest{Tasks: commonRelease()}); w.Code != http.StatusOK {
+			t.Fatalf("solve %d: %d\n%s", i, w.Code, w.Body.String())
+		}
+	}
+	w := get(t, s, "/debug/series")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/debug/series: %d\n%s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	ser, err := series.ReadJSONL(w.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.Clock != series.ClockOrdinal || ser.Interval != 4 {
+		t.Fatalf("clock=%s interval=%g, want ordinal/4", ser.Clock, ser.Interval)
+	}
+	// 9 completions at window size 4 seal exactly 2 windows; the 9th
+	// completion sits in the still-open third window.
+	if len(ser.Windows) != 2 {
+		t.Fatalf("windows=%d, want 2", len(ser.Windows))
+	}
+	for i := range ser.Windows {
+		win := &ser.Windows[i]
+		var reqs int64
+		for k, v := range win.Counters {
+			if strings.HasPrefix(k, "sdem.serve.requests") {
+				reqs += v
+			}
+		}
+		if reqs != 4 {
+			t.Fatalf("window %d: requests=%d, want 4\ncounters: %v", i, reqs, win.Counters)
+		}
+		sk := win.Sketches["sdem.serve.latency_ms"]
+		if sk == nil || sk.Count() != 4 {
+			t.Fatalf("window %d: latency sketch missing or wrong count: %+v", i, sk)
+		}
+	}
+}
+
+// TestDebugSeriesDisabled covers the negative-SeriesWindow opt-out.
+func TestDebugSeriesDisabled(t *testing.T) {
+	s := New(Config{
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+		SeriesWindow: -1,
+	})
+	if w := post(t, s, "/v1/solve", TaskRequest{Tasks: commonRelease()}); w.Code != http.StatusOK {
+		t.Fatalf("solve: %d", w.Code)
+	}
+	if w := get(t, s, "/debug/series"); w.Code != http.StatusNotFound {
+		t.Fatalf("disabled series must 404, got %d", w.Code)
+	}
+}
+
+// TestMetricsUnchangedBySeries pins the acceptance criterion that the
+// /metrics exposition is byte-identical whether the windowed series is
+// enabled or not: the collector only reads recorder snapshots, it never
+// writes metrics of its own. The latency family is excluded from the
+// comparison — it is the exposition's one intentionally wall-clock
+// (nondeterministic) family, different between any two runs regardless.
+func TestMetricsUnchangedBySeries(t *testing.T) {
+	expose := func(window int) string {
+		s := New(Config{
+			Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+			SeriesWindow: window,
+		})
+		for i := 0; i < 5; i++ {
+			if w := post(t, s, "/v1/solve", TaskRequest{Tasks: commonRelease()}); w.Code != http.StatusOK {
+				t.Fatalf("solve %d: %d", i, w.Code)
+			}
+		}
+		w := get(t, s, "/metrics")
+		if w.Code != http.StatusOK {
+			t.Fatalf("/metrics: %d", w.Code)
+		}
+		var kept []string
+		for _, line := range strings.Split(w.Body.String(), "\n") {
+			if strings.Contains(line, "latency") {
+				continue
+			}
+			kept = append(kept, line)
+		}
+		return strings.Join(kept, "\n")
+	}
+	on, off := expose(4), expose(-1)
+	if on != off {
+		t.Fatalf("exposition differs with series on/off:\n--- on ---\n%s\n--- off ---\n%s", on, off)
+	}
+}

@@ -8,6 +8,7 @@
 //	POST /v1/execute     fault-perturbed replay with graceful degradation
 //	POST /v1/batch       many solve/simulate requests on the worker pool
 //	GET  /metrics        OpenMetrics exposition of the live recorder
+//	GET  /debug/series   windowed time series (JSONL) on the request ordinal clock
 //	GET  /healthz        liveness (always 200 while the process serves)
 //	GET  /readyz         readiness (503 once shutdown has begun)
 //	GET  /debug/trace/{id}  Chrome trace_event replay of a recent request
@@ -41,6 +42,7 @@ import (
 	"sdem/internal/power"
 	"sdem/internal/telemetry"
 	"sdem/internal/telemetry/export"
+	"sdem/internal/telemetry/series"
 )
 
 // Config tunes a Server. The zero value serves the paper's default
@@ -91,6 +93,13 @@ type Config struct {
 	// replayable under a fixed plan seed.
 	Chaos *faults.ServePlan
 
+	// SeriesWindow sizes the /debug/series windows in completed requests:
+	// the window clock is the monotone request-completion ordinal, never
+	// wall time, so the series layout is deterministic in the request
+	// sequence (the sketched latency values inside are wall measurements).
+	// Default 256; negative disables the windowed series.
+	SeriesWindow int
+
 	// ReadTimeout, WriteTimeout and IdleTimeout bound the HTTP server's
 	// connection phases so slow or stalled clients cannot hold
 	// connections open indefinitely. Defaults: 30s read, 2× MaxBudget
@@ -138,6 +147,9 @@ func (c Config) withDefaults() Config {
 	if c.TraceSample == 0 {
 		c.TraceSample = 1
 	}
+	if c.SeriesWindow == 0 {
+		c.SeriesWindow = 256
+	}
 	if c.ReadTimeout <= 0 {
 		c.ReadTimeout = 30 * time.Second
 	}
@@ -172,6 +184,9 @@ type Server struct {
 	labels map[string]*routeLabels
 	// cache is the coalescing schedule cache; nil when disabled.
 	cache *schedCache
+	// col windows the root recorder on the request-completion ordinal for
+	// /debug/series; nil when disabled (every method no-ops on nil).
+	col *series.Collector
 }
 
 // New builds a Server and its route table.
@@ -192,6 +207,11 @@ func New(cfg Config) *Server {
 	s.tel.RegisterHistogram(metricLatency, telemetry.BucketsSeconds)
 	s.tel.RegisterHistogram(metricEnergy, telemetry.BucketsJoules)
 	s.tel.RegisterHistogram(metricTasks, telemetry.BucketsCount)
+	if cfg.SeriesWindow > 0 {
+		// The error path is unreachable: the interval is a validated
+		// positive int and the clock constant is well-formed.
+		s.col, _ = series.NewCollector(s.tel, series.ClockOrdinal, float64(cfg.SeriesWindow))
+	}
 	s.ready.Store(true)
 
 	s.handle("POST /v1/solve", s.handleSolve)
@@ -200,6 +220,7 @@ func New(cfg Config) *Server {
 	s.handle("POST /v1/batch", s.handleBatch)
 	s.handle("POST /v1/explain", s.handleExplain)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/series", s.handleSeries)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
@@ -255,6 +276,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
 	if err := export.WriteOpenMetrics(w, s.tel.Snapshot()); err != nil {
 		s.log.Error("metrics exposition failed", "err", err)
+	}
+}
+
+// handleSeries dumps the completed request-ordinal windows as JSONL —
+// the format sdemwatch consumes directly (sdemwatch -url .../debug/series
+// -profile serve). Only sealed windows are exposed; the partially filled
+// current window keeps accumulating until its ordinal boundary.
+func (s *Server) handleSeries(w http.ResponseWriter, _ *http.Request) {
+	if s.col == nil {
+		http.Error(w, "windowed series disabled (SeriesWindow < 0)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := s.col.Snapshot().WriteJSONL(w); err != nil {
+		s.log.Error("series dump failed", "err", err)
 	}
 }
 

@@ -95,8 +95,14 @@ func NewPool(tasks task.Set, sys power.System, cores int) (*Pool, error) {
 		now:   start,
 	}
 	p.tasks.SortByRelease()
-	for _, t := range p.tasks {
-		p.jobs[t.ID] = &Job{Task: t, Remaining: t.Workload, Core: -1, Done: numeric.IsZero(t.Workload, 0)}
+	// One slab for every job of the run instead of a per-task allocation:
+	// the serve path builds a Pool per request, so construction cost is
+	// user-visible. The slab lives exactly as long as the jobs map.
+	slab := make([]Job, len(p.tasks))
+	p.order = make([]int, 0, len(p.tasks))
+	for i, t := range p.tasks {
+		slab[i] = Job{Task: t, Remaining: t.Workload, Core: -1, Done: numeric.IsZero(t.Workload, 0)}
+		p.jobs[t.ID] = &slab[i]
 		p.order = append(p.order, t.ID)
 	}
 	return p, nil

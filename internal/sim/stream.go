@@ -43,6 +43,16 @@ type Stream struct {
 	// fault-sampler closure); unexplained misses indicate engine bugs.
 	classify func(*Job) bool
 
+	// onRetire, when non-nil, observes every completed job as it retires
+	// (the windowed-series wiring feeds response-time sketches through
+	// it). The *Job is recycled immediately after the call returns and
+	// must not be retained.
+	onRetire func(j *Job, response float64)
+
+	// lastMetered tracks the high-water Running() energy already flushed
+	// to the sdem.sim.metered_j series at Seal boundaries.
+	lastMetered float64
+
 	admitted, completed     int64
 	missed, explainedMisses int64
 	maxActive               int
@@ -127,6 +137,22 @@ func (s *Stream) SetSpeedLimiter(f SpeedLimiter) { s.limiter = f }
 // classify field). It must be set before the first miss retires.
 func (s *Stream) SetMissClassifier(f func(*Job) bool) { s.classify = f }
 
+// SetRetireHook installs the per-completion observer (see the onRetire
+// field). A nil hook removes it.
+func (s *Stream) SetRetireHook(f func(j *Job, response float64)) { s.onRetire = f }
+
+// Completed returns the number of jobs retired so far.
+func (s *Stream) Completed() int64 { return s.completed }
+
+// EnergySoFar returns the meter's running energy total — monotone
+// non-decreasing across Seal boundaries, 0 before the first admission.
+func (s *Stream) EnergySoFar() float64 {
+	if s.meter == nil {
+		return 0
+	}
+	return s.meter.Running()
+}
+
 // Admit registers a newly arrived task instance. The meter's horizon
 // opens at the first admitted release. A zero-workload task completes
 // (and retires) immediately, like Pool's construction does.
@@ -159,6 +185,7 @@ func (s *Stream) Admit(t task.Task) (*Job, error) {
 	}
 	s.jobs[t.ID] = j
 	s.admitted++
+	s.tel.CountL("sdem.sim.admitted", s.telLabel, 1)
 	if len(s.jobs) > s.maxActive {
 		s.maxActive = len(s.jobs)
 	}
@@ -206,10 +233,19 @@ func (s *Stream) Run(taskID, core int, t0, t1, speed float64) (float64, error) {
 }
 
 // Seal forwards a planning-batch boundary to the meter: no future
-// segment will start before next.
+// segment will start before next, and the energy finalized by the seal
+// is flushed to the sdem.sim.metered_j float series so windowed
+// telemetry sees energy accrue during the run instead of only at Finish.
 func (s *Stream) Seal(next float64) {
-	if s.meter != nil {
-		s.meter.Seal(next)
+	if s.meter == nil {
+		return
+	}
+	s.meter.Seal(next)
+	if s.tel != nil {
+		if cur := s.meter.Running(); cur > s.lastMetered {
+			s.tel.AddL("sdem.sim.metered_j", s.telLabel, cur-s.lastMetered)
+			s.lastMetered = cur
+		}
 	}
 }
 
@@ -217,7 +253,11 @@ func (s *Stream) Seal(next float64) {
 func (s *Stream) retire(j *Job) {
 	delete(s.jobs, j.Task.ID)
 	s.completed++
+	s.tel.CountL("sdem.sim.completions", s.telLabel, 1)
 	resp := j.Completed - j.Task.Release
+	if s.onRetire != nil {
+		s.onRetire(j, resp)
+	}
 	s.sumResp += resp
 	s.maxResp = math.Max(s.maxResp, resp)
 	s.sumLax += j.Task.Deadline - j.Completed
@@ -234,8 +274,12 @@ func (s *Stream) retire(j *Job) {
 
 func (s *Stream) recordMiss(j *Job, m schedule.Miss) {
 	s.missed++
-	if s.classify != nil && s.classify(j) {
-		s.explainedMisses++
+	if s.classify != nil {
+		if s.classify(j) {
+			s.explainedMisses++
+		} else {
+			s.tel.CountL("sdem.sim.unexplained_misses", s.telLabel, 1)
+		}
 	}
 	if len(s.missSample) < missSampleCap {
 		s.missSample = append(s.missSample, m)

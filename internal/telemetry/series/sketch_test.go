@@ -1,0 +1,160 @@
+package series
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestSketchRankErrorBound is the satellite property test: every
+// reported quantile must be within the configured relative rank error of
+// the exact order statistic, across distributions that stress both dense
+// and many-decade value ranges.
+func TestSketchRankErrorBound(t *testing.T) {
+	quantiles := []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1}
+	dists := map[string]func(*rand.Rand) float64{
+		"uniform":   func(r *rand.Rand) float64 { return r.Float64() },
+		"exp":       func(r *rand.Rand) float64 { return r.ExpFloat64() * 1e-3 },
+		"lognormal": func(r *rand.Rand) float64 { return math.Exp(r.NormFloat64() * 3) },
+		"heavy":     func(r *rand.Rand) float64 { return math.Pow(r.Float64(), -2) - 1 },
+		"mixture": func(r *rand.Rand) float64 {
+			if r.Intn(10) == 0 {
+				return 0 // exact-zero bucket traffic
+			}
+			return 1e-6 + r.Float64()*1e6
+		},
+	}
+	for _, alpha := range []float64{0.01, 0.05} {
+		for name, gen := range dists {
+			r := rand.New(rand.NewSource(42))
+			sk := NewSketch(alpha)
+			vals := make([]float64, 0, 20000)
+			for i := 0; i < 20000; i++ {
+				v := gen(r)
+				vals = append(vals, v)
+				sk.Observe(v)
+			}
+			sort.Float64s(vals)
+			for _, q := range quantiles {
+				got := sk.Quantile(q)
+				rank := int(math.Ceil(q * float64(len(vals))))
+				if rank < 1 {
+					rank = 1
+				}
+				exact := vals[rank-1]
+				if math.Abs(got-exact) > alpha*exact+sketchZeroMin {
+					t.Errorf("%s alpha=%g q=%g: sketch %g vs exact %g exceeds relative bound",
+						name, alpha, q, got, exact)
+				}
+			}
+		}
+	}
+}
+
+// TestSketchMergeEqualsUnion: merging shards must reproduce the sketch
+// of the union stream exactly, bucket for bucket.
+func TestSketchMergeEqualsUnion(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	whole := NewSketch(DefaultAlpha)
+	shards := make([]*Sketch, 4)
+	for i := range shards {
+		shards[i] = NewSketch(DefaultAlpha)
+	}
+	for i := 0; i < 10000; i++ {
+		v := math.Exp(r.NormFloat64() * 2)
+		whole.Observe(v)
+		shards[i%len(shards)].Observe(v)
+	}
+	merged := NewSketch(DefaultAlpha)
+	for _, s := range shards {
+		if err := merged.Merge(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The sum accumulates in shard order, so it matches only to float
+	// addition-reordering tolerance; buckets, counts, and extrema must be
+	// exact. Normalize the sum before the byte comparison.
+	if math.Abs(merged.sum-whole.sum) > 1e-9*math.Max(1, math.Abs(whole.sum)) {
+		t.Fatalf("merged sum %g vs union sum %g beyond 1e-9", merged.sum, whole.sum)
+	}
+	merged.sum = whole.sum
+	wb, err := json.Marshal(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := json.Marshal(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wb) != string(mb) {
+		t.Fatalf("merged sketch differs from union sketch:\n%s\n%s", mb, wb)
+	}
+	if err := merged.Merge(NewSketch(0.5)); err == nil {
+		t.Fatal("merging mismatched alphas must fail")
+	}
+}
+
+func TestSketchJSONRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	sk := NewSketch(DefaultAlpha)
+	for i := 0; i < 5000; i++ {
+		sk.Observe(r.ExpFloat64())
+	}
+	sk.Observe(0)
+	b1, err := json.Marshal(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Sketch
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("sketch JSON round trip not byte-identical:\n%s\n%s", b1, b2)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got, want := back.Quantile(q), sk.Quantile(q); got != want {
+			t.Fatalf("q%g after round trip: %g != %g", q, got, want)
+		}
+	}
+}
+
+func TestSketchEmptyAndEdgeCases(t *testing.T) {
+	var nilSk *Sketch
+	if nilSk.Count() != 0 || nilSk.Quantile(0.5) != 0 || nilSk.Min() != 0 || nilSk.Max() != 0 {
+		t.Fatal("nil sketch accessors must be zero")
+	}
+	sk := NewSketch(DefaultAlpha)
+	if sk.Quantile(0.99) != 0 {
+		t.Fatal("empty sketch quantile must be 0")
+	}
+	sk.Observe(5)
+	if got := sk.Quantile(0.5); math.Abs(got-5) > 5*DefaultAlpha {
+		t.Fatalf("single observation p50 = %g, want ~5", got)
+	}
+	if sk.Quantile(0) != sk.Quantile(1) {
+		t.Fatal("single observation: p0 and p100 must agree")
+	}
+	sk.Observe(-3) // clamped to zero, not an error
+	if sk.Min() != 0 {
+		t.Fatalf("negative observation must clamp to 0, min=%g", sk.Min())
+	}
+	// Exact bucket-edge values stay within their bound.
+	edge := NewSketch(DefaultAlpha)
+	g := (1 + DefaultAlpha) / (1 - DefaultAlpha)
+	for i := -3; i <= 3; i++ {
+		edge.Observe(math.Pow(g, float64(i)))
+	}
+	for q := 0.0; q <= 1.0; q += 0.125 {
+		got := edge.Quantile(q)
+		if got < edge.Min() || got > edge.Max() {
+			t.Fatalf("edge-value quantile %g out of observed range", got)
+		}
+	}
+}

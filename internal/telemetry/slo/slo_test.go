@@ -1,0 +1,291 @@
+package slo
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"sdem/internal/parallel"
+	"sdem/internal/stats"
+	"sdem/internal/telemetry/series"
+
+	"math/rand"
+)
+
+func mkSeries(ws ...series.Window) *series.Series {
+	for i := range ws {
+		ws[i].Index = int64(i)
+	}
+	return &series.Series{Clock: series.ClockVirtual, Interval: 60, Alpha: series.DefaultAlpha, Windows: ws}
+}
+
+func ratioWindow(misses, completions int64) series.Window {
+	return series.Window{Counters: map[string]int64{
+		"sdem.sim.misses{sched=sdem-on}":      misses,
+		"sdem.sim.completions{sched=sdem-on}": completions,
+	}}
+}
+
+func TestRatioBudgetAndTimeline(t *testing.T) {
+	// 10 windows, 100 completions each; windows 3,4,5 miss heavily.
+	var ws []series.Window
+	for i := 0; i < 10; i++ {
+		m := int64(0)
+		if i >= 3 && i <= 5 {
+			m = 50
+		}
+		ws = append(ws, ratioWindow(m, 100))
+	}
+	spec := Spec{Name: "miss", Kind: KindRatio, Num: "sdem.sim.misses", Den: "sdem.sim.completions", Max: 0.1, Budget: 0.2}
+	v, err := Evaluate(mkSeries(ws...), []Spec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := v.Results[0]
+	if r.Windows != 10 || r.Burning != 3 {
+		t.Fatalf("windows=%d burning=%d, want 10/3", r.Windows, r.Burning)
+	}
+	if len(r.Timeline) != 1 || r.Timeline[0] != (Run{From: 3, To: 5}) {
+		t.Fatalf("timeline %+v, want one run [3,5]", r.Timeline)
+	}
+	if r.Pass {
+		t.Fatal("consumed 0.3 > budget 0.2 must fail")
+	}
+	if v.Pass {
+		t.Fatal("verdict must fail when a result fails")
+	}
+	// The same series under a looser budget passes.
+	spec.Budget = 0.3
+	v, err = Evaluate(mkSeries(ws...), []Spec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Results[0].Pass {
+		t.Fatal("consumed 0.3 <= budget 0.3 must pass")
+	}
+	// Bare-name matching summed the labeled instances: Worst is 0.5.
+	if math.Abs(v.Results[0].Worst-0.5) > 1e-12 {
+		t.Fatalf("worst = %g, want 0.5", v.Results[0].Worst)
+	}
+}
+
+func TestBurnRangeSuppressesSpikes(t *testing.T) {
+	// One 1-window spike; the 3-window burn range dilutes it below Max.
+	ws := []series.Window{
+		ratioWindow(0, 100), ratioWindow(0, 100), ratioWindow(30, 100),
+		ratioWindow(0, 100), ratioWindow(0, 100),
+	}
+	spec := Spec{
+		Name: "miss", Kind: KindRatio,
+		Num: "sdem.sim.misses", Den: "sdem.sim.completions",
+		Max: 0.15, BurnShort: 3, Budget: 0,
+	}
+	v, err := Evaluate(mkSeries(ws...), []Spec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Results[0].Burning != 0 {
+		t.Fatalf("diluted spike must not burn, got %d burning", v.Results[0].Burning)
+	}
+	if !v.Pass {
+		t.Fatal("verdict must pass")
+	}
+	// Pointwise (default burn 1) the same spike fails a zero budget.
+	spec.BurnShort = 0
+	v, err = Evaluate(mkSeries(ws...), []Spec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass {
+		t.Fatal("pointwise spike must fail a zero budget")
+	}
+}
+
+func TestUndefinedWindowsAreIneligible(t *testing.T) {
+	ws := []series.Window{ratioWindow(0, 100), {}, ratioWindow(10, 100)}
+	spec := Spec{Name: "miss", Kind: KindRatio, Num: "sdem.sim.misses", Den: "sdem.sim.completions", Max: 0.5, Budget: 0}
+	v, err := Evaluate(mkSeries(ws...), []Spec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Results[0].Windows != 2 {
+		t.Fatalf("idle window must not count: eligible=%d, want 2", v.Results[0].Windows)
+	}
+}
+
+func TestDriftSpec(t *testing.T) {
+	// Energy per job stays at 2.0 for 6 windows, then jumps to 3.0.
+	var ws []series.Window
+	for i := 0; i < 8; i++ {
+		e := 200.0
+		if i >= 6 {
+			e = 300.0
+		}
+		ws = append(ws, series.Window{
+			Counters: map[string]int64{"sdem.sim.completions": 100},
+			Floats:   map[string]float64{"sdem.sim.metered_j": e},
+		})
+	}
+	spec := *EnergyDriftSpec(0.2)
+	spec.Budget = 0
+	v, err := Evaluate(mkSeries(ws...), []Spec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := v.Results[0]
+	if r.Burning == 0 || r.Pass {
+		t.Fatalf("50%% energy jump must burn a 20%% drift bound: %+v", r)
+	}
+	if r.Timeline[0].From != 6 {
+		t.Fatalf("drift breach must start at the jump window, got %+v", r.Timeline)
+	}
+	// A stable series passes.
+	stable := mkSeries(ws[:6]...)
+	v, err = Evaluate(stable, []Spec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pass {
+		t.Fatal("stable energy series must pass the drift bound")
+	}
+}
+
+func TestQuantileSpec(t *testing.T) {
+	mk := func(scale float64) series.Window {
+		sk := series.NewSketch(series.DefaultAlpha)
+		for i := 1; i <= 100; i++ {
+			sk.Observe(scale * float64(i) / 100)
+		}
+		return series.Window{Sketches: map[string]*series.Sketch{"sdem.stream.response_s": sk}}
+	}
+	ws := []series.Window{mk(0.1), mk(0.1), mk(5), mk(5), mk(5)}
+	spec := *P99ResponseSpec(1.0)
+	spec.BurnShort, spec.BurnLong, spec.Budget = 1, 1, 0
+	v, err := Evaluate(mkSeries(ws...), []Spec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := v.Results[0]
+	if r.Burning != 3 || r.Pass {
+		t.Fatalf("slow windows must burn: %+v", r)
+	}
+	if r.Worst < 4 || r.Worst > 5.1 {
+		t.Fatalf("worst p99 = %g, want ~4.95", r.Worst)
+	}
+}
+
+func TestReadSpecsValidates(t *testing.T) {
+	good := `[{"name":"x","kind":"ratio","num":"a","den":"b","max":0.5,"budget":0}]`
+	specs, err := ReadSpecs(strings.NewReader(good))
+	if err != nil || len(specs) != 1 {
+		t.Fatalf("good specs: %v %v", specs, err)
+	}
+	for _, bad := range []string{
+		`[{"name":"","kind":"ratio","num":"a","max":1,"budget":0}]`,
+		`[{"name":"x","kind":"bogus","num":"a","max":1,"budget":0}]`,
+		`[{"name":"x","kind":"quantile","sketch":"s","q":1.5,"max":1,"budget":0}]`,
+		`[{"name":"x","kind":"ratio","num":"a","max":1,"budget":2}]`,
+		`[{"name":"x","kind":"ratio","num":"a","max":1,"budget":0,"bogus":1}]`,
+	} {
+		if _, err := ReadSpecs(strings.NewReader(bad)); err == nil {
+			t.Fatalf("spec %s must be rejected", bad)
+		}
+	}
+}
+
+// TestVerdictWorkerDeterminism is satellite property (c): building the
+// per-window data through parallel.Map at any worker count, then
+// evaluating, must produce byte-identical series dumps and verdicts at a
+// fixed seed — including across repeat runs.
+func TestVerdictWorkerDeterminism(t *testing.T) {
+	const windows = 64
+	build := func(workers int) ([]byte, []byte) {
+		t.Helper()
+		ws, err := parallel.Map(context.Background(), workers, windows, func(_ context.Context, i int) (series.Window, error) {
+			r := rand.New(rand.NewSource(stats.DeriveSeed(1234, uint64(i))))
+			sk := series.NewSketch(series.DefaultAlpha)
+			n := 50 + r.Intn(100)
+			misses := int64(0)
+			energy := 0.0
+			for j := 0; j < n; j++ {
+				sk.Observe(r.ExpFloat64() * 0.02)
+				if r.Intn(20) == 0 {
+					misses++
+				}
+				energy += 1.5 + r.Float64()
+			}
+			return series.Window{
+				Index:    int64(i),
+				Counters: map[string]int64{"sdem.sim.completions": int64(n), "sdem.sim.misses": misses},
+				Floats:   map[string]float64{"sdem.sim.metered_j": energy},
+				Sketches: map[string]*series.Sketch{"sdem.stream.response_s": sk},
+			}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := &series.Series{Clock: series.ClockVirtual, Interval: 60, Alpha: series.DefaultAlpha, Windows: ws}
+		var dump bytes.Buffer
+		if err := s.WriteJSONL(&dump); err != nil {
+			t.Fatal(err)
+		}
+		v, err := Evaluate(s, SoakSpecs(0.2, 1.0, 0.5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vb bytes.Buffer
+		if err := v.WriteJSON(&vb); err != nil {
+			t.Fatal(err)
+		}
+		return dump.Bytes(), vb.Bytes()
+	}
+	refDump, refVerdict := build(1)
+	for _, workers := range []int{1, 2, 4, 8} {
+		for rep := 0; rep < 2; rep++ {
+			dump, verdict := build(workers)
+			if !bytes.Equal(dump, refDump) {
+				t.Fatalf("series dump differs at workers=%d rep=%d", workers, rep)
+			}
+			if !bytes.Equal(verdict, refVerdict) {
+				t.Fatalf("verdict differs at workers=%d rep=%d", workers, rep)
+			}
+		}
+	}
+	if !bytes.Contains(refVerdict, []byte(`"unexplained-miss-rate"`)) {
+		t.Fatal("soak spec set must include the unexplained-miss objective")
+	}
+}
+
+func TestSpecConstructorsDisable(t *testing.T) {
+	if MissRateSpec(0) != nil || P99ResponseSpec(-1) != nil || EnergyDriftSpec(0) != nil ||
+		ShedRateSpec(0) != nil || P99LatencySpec(0) != nil {
+		t.Fatal("non-positive thresholds must disable optional specs")
+	}
+	if got := len(SoakSpecs(0, 0, 0)); got != 1 {
+		t.Fatalf("disabled soak set must keep only the unexplained objective, got %d", got)
+	}
+	if got := len(ServeSpecs(0.1, 50)); got != 2 {
+		t.Fatalf("serve set: got %d specs, want 2", got)
+	}
+	for _, s := range append(SoakSpecs(0.1, 1, 0.2), ServeSpecs(0.1, 50)...) {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("constructor emitted invalid spec: %v", err)
+		}
+	}
+	var errSpec error
+	_, errSpec = Evaluate(mkSeries(), []Spec{{Name: "x", Kind: "bogus"}})
+	if errSpec == nil {
+		t.Fatal("Evaluate must reject invalid specs")
+	}
+}
+
+func TestFailingNames(t *testing.T) {
+	v := &Verdict{Results: []Result{{Name: "a", Pass: true}, {Name: "b"}, {Name: "c"}}}
+	got := v.Failing()
+	if fmt.Sprint(got) != "[b c]" {
+		t.Fatalf("failing = %v", got)
+	}
+}

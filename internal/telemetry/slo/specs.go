@@ -1,0 +1,135 @@
+package slo
+
+// Canonical objective constructors over the metric names the module's
+// engines emit. Commands compose these from flags instead of each
+// inventing its own key strings; a threshold <= 0 disables the optional
+// objectives (the constructors return nil for them).
+
+// UnexplainedMissSpec is the non-negotiable soak objective: an
+// unexplained deadline miss is an engine bug, so the budget is zero and
+// a single miss in any window fails the campaign.
+func UnexplainedMissSpec() Spec {
+	return Spec{
+		Name: "unexplained-miss-rate",
+		Kind: KindRatio,
+		Num:  "sdem.sim.unexplained_misses",
+		Den:  "sdem.sim.completions",
+	}
+}
+
+// MissRateSpec bounds the total per-window deadline-miss rate (explained
+// misses included — this is the service-quality view, not the bug view).
+// Burn pairing 2/6 windows with a 5% budget: a transient one-window
+// spike is tolerated, sustained missing is not.
+func MissRateSpec(max float64) *Spec {
+	if max <= 0 {
+		return nil
+	}
+	return &Spec{
+		Name:      "miss-rate",
+		Kind:      KindRatio,
+		Num:       "sdem.sim.misses",
+		Den:       "sdem.sim.completions",
+		Max:       max,
+		BurnShort: 2,
+		BurnLong:  6,
+		Budget:    0.05,
+	}
+}
+
+// P99ResponseSpec bounds the p99 of the virtual-time response sketch the
+// streaming engine feeds per retirement.
+func P99ResponseSpec(max float64) *Spec {
+	if max <= 0 {
+		return nil
+	}
+	return &Spec{
+		Name:      "p99-response",
+		Kind:      KindQuantile,
+		Sketch:    "sdem.stream.response_s",
+		Q:         0.99,
+		Max:       max,
+		BurnShort: 2,
+		BurnLong:  6,
+		Budget:    0.05,
+	}
+}
+
+// EnergyDriftSpec bounds the relative drift of metered energy per
+// completed job against its own trailing 5-window baseline — the
+// long-haul regression detector for the paper's core quantity.
+func EnergyDriftSpec(max float64) *Spec {
+	if max <= 0 {
+		return nil
+	}
+	return &Spec{
+		Name:   "energy-per-job-drift",
+		Kind:   KindDrift,
+		Num:    "sdem.sim.metered_j",
+		Den:    "sdem.sim.completions",
+		Max:    max,
+		Budget: 0.1,
+	}
+}
+
+// SoakSpecs assembles the default soak objective set. The unexplained
+// miss objective is always present; the others activate when their
+// threshold is positive.
+func SoakSpecs(missRate, p99Resp, energyDrift float64) []Spec {
+	specs := []Spec{UnexplainedMissSpec()}
+	for _, s := range []*Spec{MissRateSpec(missRate), P99ResponseSpec(p99Resp), EnergyDriftSpec(energyDrift)} {
+		if s != nil {
+			specs = append(specs, *s)
+		}
+	}
+	return specs
+}
+
+// ShedRateSpec bounds the serve layer's shed fraction per window of the
+// request ordinal clock.
+func ShedRateSpec(max float64) *Spec {
+	if max <= 0 {
+		return nil
+	}
+	return &Spec{
+		Name:      "shed-rate",
+		Kind:      KindRatio,
+		Num:       "sdem.serve.shed",
+		Den:       "sdem.serve.requests",
+		Max:       max,
+		BurnShort: 2,
+		BurnLong:  6,
+		Budget:    0.1,
+	}
+}
+
+// P99LatencySpec bounds the serve path's wall-latency sketch p99 in
+// milliseconds. (The values are wall measurements — inherently noisy —
+// but the windowing clock is still the request ordinal, so the series
+// layout stays deterministic even though the sketched values are not.)
+func P99LatencySpec(maxMS float64) *Spec {
+	if maxMS <= 0 {
+		return nil
+	}
+	return &Spec{
+		Name:      "p99-latency-ms",
+		Kind:      KindQuantile,
+		Sketch:    "sdem.serve.latency_ms",
+		Q:         0.99,
+		Max:       maxMS,
+		BurnShort: 2,
+		BurnLong:  6,
+		Budget:    0.1,
+	}
+}
+
+// ServeSpecs assembles the default serve-campaign objective set.
+func ServeSpecs(shedRate, p99ms float64) []Spec {
+	var specs []Spec
+	for _, s := range []*Spec{ShedRateSpec(shedRate), P99LatencySpec(p99ms)} {
+		if s != nil {
+			specs = append(specs, *s)
+		}
+	}
+	return specs
+}
